@@ -1,0 +1,558 @@
+(* ppl-fpga: command-line driver for the parallel-patterns-to-hardware
+   compiler, simulator, and experiment harness. *)
+
+open Cmdliner
+
+let benches () = Suite.extended ()
+
+let bench_conv =
+  let parse s =
+    match Suite.find (benches ()) s with
+    | b -> Ok b
+    | exception Not_found ->
+        Error
+          (`Msg
+             (Printf.sprintf "unknown benchmark %S (try: %s)" s
+                (String.concat ", "
+                   (List.map (fun b -> b.Suite.name) (benches ())))))
+  in
+  Arg.conv (parse, fun fmt b -> Format.pp_print_string fmt b.Suite.name)
+
+let bench_arg =
+  Arg.(
+    required
+    & pos 0 (some bench_conv) None
+    & info [] ~docv:"BENCH" ~doc:"Benchmark name (see $(b,ppl-fpga list)).")
+
+let config_arg =
+  let cfg_conv =
+    Arg.enum
+      [ ("baseline", Experiments.Baseline);
+        ("tiled", Experiments.Tiled);
+        ("meta", Experiments.Tiled_meta) ]
+  in
+  Arg.(
+    value & opt cfg_conv Experiments.Tiled_meta
+    & info [ "c"; "config" ] ~docv:"CONFIG"
+        ~doc:
+          "Hardware configuration: $(b,baseline) (burst-level locality \
+           only), $(b,tiled) (tiling, sequential controllers), or $(b,meta) \
+           (tiling + metapipelining).")
+
+let stage_arg =
+  Arg.(
+    value
+    & opt (enum [ ("fused", `Fused); ("stripped", `Stripped);
+                  ("stripped-copies", `Swc); ("tiled", `Tiled) ])
+        `Tiled
+    & info [ "s"; "stage" ] ~docv:"STAGE"
+        ~doc:
+          "Pipeline stage to show: $(b,fused), $(b,stripped) (after strip \
+           mining), $(b,stripped-copies) (strip mining with tile copies), \
+           or $(b,tiled) (after interchange; the final form).")
+
+let tiling_of bench = Tiling.run ~tiles:bench.Suite.tiles bench.Suite.prog
+
+let stage_prog bench = function
+  | `Fused -> (tiling_of bench).Tiling.fused
+  | `Stripped -> (tiling_of bench).Tiling.stripped
+  | `Swc -> (tiling_of bench).Tiling.stripped_with_copies
+  | `Tiled -> (tiling_of bench).Tiling.tiled
+
+(* ------------------------------ commands ---------------------------- *)
+
+let list_cmd =
+  let run () =
+    Experiments.print_table5 (Suite.all ());
+    let paper = List.map (fun b -> b.Suite.name) (Suite.all ()) in
+    Printf.printf "\nExtension applications (beyond the paper's Table 5)\n";
+    List.iter
+      (fun (b : Suite.bench) ->
+        if not (List.mem b.Suite.name paper) then
+          Printf.printf "%-12s %-38s %s\n" b.Suite.name b.Suite.description
+            b.Suite.collection_ops)
+      (benches ())
+  in
+  Cmd.v
+    (Cmd.info "list"
+       ~doc:"List the benchmark suite (Table 5) and extension applications.")
+    Term.(const run $ const ())
+
+let ir_cmd =
+  let run bench stage =
+    print_endline (Pp.program_to_string (stage_prog bench stage))
+  in
+  Cmd.v
+    (Cmd.info "ir"
+       ~doc:"Print a benchmark's parallel-pattern IR at a pipeline stage.")
+    Term.(const run $ bench_arg $ stage_arg)
+
+let design_cmd =
+  let run bench config =
+    print_string
+      (Hw_pp.design_to_string (Experiments.design_of config bench))
+  in
+  Cmd.v
+    (Cmd.info "design"
+       ~doc:"Print the generated hardware design (controllers + memories).")
+    Term.(const run $ bench_arg $ config_arg)
+
+let maxj_cmd =
+  let run bench config =
+    print_string (Maxj.emit (Experiments.design_of config bench))
+  in
+  Cmd.v
+    (Cmd.info "maxj" ~doc:"Emit the MaxJ-like HGL kernel for a benchmark.")
+    Term.(const run $ bench_arg $ config_arg)
+
+let dot_cmd =
+  let run bench config =
+    print_string (Dot.emit (Experiments.design_of config bench))
+  in
+  Cmd.v
+    (Cmd.info "dot"
+       ~doc:
+         "Emit a Graphviz block diagram of the generated hardware (the \
+          Fig. 6 view).")
+    Term.(const run $ bench_arg $ config_arg)
+
+let engine_arg =
+  Arg.(
+    value
+    & opt (enum [ ("analytic", `Analytic); ("event", `Event) ]) `Analytic
+    & info [ "e"; "engine" ] ~docv:"ENGINE"
+        ~doc:
+          "Simulation engine: $(b,analytic) (hierarchical closed forms) or \
+           $(b,event) (per-instance scheduling with double-buffer \
+           handshakes and a DRAM calendar).")
+
+let breakdown_flag =
+  Arg.(value & flag & info [ "breakdown" ] ~doc:"Per-controller timing table.")
+
+let bottlenecks_flag =
+  Arg.(
+    value & flag
+    & info [ "bottlenecks" ]
+        ~doc:
+          "Per-metapipeline bottleneck table: the slowest stage and \
+           whether compute or DRAM sets the steady state (the analysis \
+           behind the gda rebalancing).")
+
+let simulate_cmd =
+  let run bench config engine breakdown bottlenecks =
+    let d = Experiments.design_of config bench in
+    let rep =
+      match engine with
+      | `Analytic -> Simulate.run d ~sizes:bench.Suite.sim_sizes
+      | `Event ->
+          let r = Event_sim.run d ~sizes:bench.Suite.sim_sizes in
+          Printf.printf "(event engine: %d controller instances, %d fallbacks)\n"
+            r.Event_sim.events r.Event_sim.fallbacks;
+          r.Event_sim.report
+    in
+    Printf.printf "%s / %s\n" bench.Suite.name (Experiments.config_name config);
+    Format.printf "%a" Simulate.pp_report rep;
+    let a = Area_model.of_design d in
+    Format.printf "area: %a@." Area_model.pp a;
+    Format.printf "utilization (Stratix V): %a%s@." Area_model.pp_utilization a
+      (if Area_model.fits a then "" else "  ** EXCEEDS CHIP **");
+    Printf.printf "time at %.0f MHz: %.3f ms\n" Machine.default.Machine.clock_mhz
+      (1e3 *. Machine.seconds Machine.default rep.Simulate.cycles);
+    if breakdown then
+      Format.printf "%a"
+        Simulate.pp_breakdown
+        (Simulate.breakdown d ~sizes:bench.Suite.sim_sizes);
+    if bottlenecks then
+      Format.printf "%a"
+        Simulate.pp_bottlenecks
+        (Simulate.bottlenecks d ~sizes:bench.Suite.sim_sizes)
+  in
+  Cmd.v
+    (Cmd.info "simulate"
+       ~doc:"Simulate a benchmark's design: cycles, DRAM traffic, area.")
+    Term.(
+      const run $ bench_arg $ config_arg $ engine_arg $ breakdown_flag
+      $ bottlenecks_flag)
+
+let verify_cmd =
+  let run bench =
+    let r = tiling_of bench in
+    let sizes = bench.Suite.test_sizes in
+    let inputs = bench.Suite.gen ~sizes ~seed:2026 in
+    let reference = Eval.eval_program bench.Suite.prog ~sizes ~inputs in
+    List.iter
+      (fun (name, prog) ->
+        let v = Eval.eval_program prog ~sizes ~inputs in
+        Printf.printf "%-22s %s\n" name
+          (if Value.equal ~eps:1e-6 reference v then "ok" else "MISMATCH"))
+      [ ("fused", r.Tiling.fused);
+        ("strip-mined", r.Tiling.stripped);
+        ("strip-mined+copies", r.Tiling.stripped_with_copies);
+        ("interchanged", r.Tiling.tiled) ]
+  in
+  Cmd.v
+    (Cmd.info "verify"
+       ~doc:
+         "Evaluate every tiling stage with the reference interpreter and \
+          check it against the untiled program.")
+    Term.(const run $ bench_arg)
+
+let fig5c_cmd =
+  let n = Arg.(value & opt int 1024 & info [ "n" ] ~doc:"Number of points.") in
+  let k = Arg.(value & opt int 256 & info [ "k" ] ~doc:"Number of clusters.") in
+  let d = Arg.(value & opt int 32 & info [ "d" ] ~doc:"Point dimensionality.") in
+  let b0 = Arg.(value & opt int 64 & info [ "b0" ] ~doc:"Tile size for n.") in
+  let b1 = Arg.(value & opt int 16 & info [ "b1" ] ~doc:"Tile size for k.") in
+  let run n k d b0 b1 =
+    Experiments.print_fig5c (Experiments.fig5c ~n ~k ~d ~b0 ~b1 ())
+  in
+  Cmd.v
+    (Cmd.info "fig5c"
+       ~doc:
+         "Reproduce Fig. 5c: k-means main-memory reads and on-chip storage \
+          per structure for the fused, strip-mined and interchanged forms.")
+    Term.(const run $ n $ k $ d $ b0 $ b1)
+
+let stats_cmd =
+  let run bench =
+    let r = tiling_of bench in
+    print_endline Ir_stats.header;
+    List.iter
+      (fun (name, prog) ->
+        print_endline (Ir_stats.row name (Ir_stats.of_program prog)))
+      [ ("source", bench.Suite.prog);
+        ("fused", r.Tiling.fused);
+        ("strip-mined", r.Tiling.stripped);
+        ("with copies", r.Tiling.stripped_with_copies);
+        ("interchanged", r.Tiling.tiled) ]
+  in
+  Cmd.v
+    (Cmd.info "stats"
+       ~doc:"Show IR statistics for each transformation stage.")
+    Term.(const run $ bench_arg)
+
+let dse_cmd =
+  let budget =
+    Arg.(
+      value & opt float 2560.0
+      & info [ "bram" ] ~docv:"BLOCKS"
+          ~doc:"On-chip memory budget in M20K blocks (Stratix V: 2560).")
+  in
+  let pars_arg =
+    Arg.(
+      value & opt (list int) []
+      & info [ "pars" ] ~docv:"P1,P2,..."
+          ~doc:
+            "Also sweep these parallelism factors jointly with the tile \
+             sizes (default: the single default factor).")
+  in
+  let run bench budget pars =
+    Printf.printf
+      "tile-size exploration for %s (budget %.0f M20K, sizes at sim scale)\n\n"
+      bench.Suite.name budget;
+    Dse.print_result (Dse.explore_bench ~bram_budget:budget ~pars bench)
+  in
+  Cmd.v
+    (Cmd.info "dse"
+       ~doc:
+         "Automated tile-size (and optionally parallelism-factor) \
+          selection (the paper's future-work loop): sweep candidates, \
+          model cycles and area, pick the fastest design that fits the \
+          memory budget and the chip.")
+    Term.(const run $ bench_arg $ budget $ pars_arg)
+
+let compile_cmd =
+  let file =
+    Arg.(
+      required
+      & pos 0 (some file) None
+      & info [] ~docv:"FILE" ~doc:"A .ppl program (the syntax ir/export emit).")
+  in
+  let tiles_arg =
+    Arg.(
+      value & opt (list (pair ~sep:'=' string int)) []
+      & info [ "tiles" ] ~docv:"NAME=SIZE,..."
+          ~doc:"Tile configuration by size-parameter base name.")
+  in
+  let sizes_arg =
+    Arg.(
+      value & opt (list (pair ~sep:'=' string int)) []
+      & info [ "sizes" ] ~docv:"NAME=N,..."
+          ~doc:
+            "Concrete size-parameter values; when given, the compiled \
+             design is also simulated at them.")
+  in
+  let run file tiles_spec sizes_spec engine =
+    let ic = open_in file in
+    let len = in_channel_length ic in
+    let text = really_input_string ic len in
+    close_in ic;
+    let prog = Parser.program_of_string text in
+    ignore (Validate.check_program prog);
+    Printf.printf "parsed %s: %d IR nodes, result type ok\n" prog.Ir.pname
+      (Rewrite.node_count prog.Ir.body);
+    let resolve spec =
+      List.filter_map
+        (fun (name, v) ->
+          match
+            List.find_opt (fun s -> Sym.base s = name) prog.Ir.size_params
+          with
+          | Some s -> Some (s, v)
+          | None ->
+              Printf.printf "warning: no size parameter %s\n" name;
+              None)
+        spec
+    in
+    let tiles = resolve tiles_spec in
+    let r = Tiling.run ~tiles prog in
+    print_endline (Pp.program_to_string r.Tiling.tiled);
+    let d = Lower.program Lower.default_opts r.Tiling.tiled in
+    print_string (Hw_pp.design_to_string d);
+    (match Hw_check.check d with
+    | [] -> print_endline "design check: ok"
+    | fs ->
+        List.iter (fun f -> Format.printf "design check: %a@." Hw_check.pp_finding f) fs;
+        exit 1);
+    match resolve sizes_spec with
+    | [] -> ignore engine
+    | sizes ->
+        let rep =
+          match engine with
+          | `Analytic -> Simulate.run d ~sizes
+          | `Event -> (Event_sim.run d ~sizes).Event_sim.report
+        in
+        Format.printf "%a" Simulate.pp_report rep;
+        let a = Area_model.of_design d in
+        Format.printf "area: %a@." Area_model.pp a
+  in
+  Cmd.v
+    (Cmd.info "compile"
+       ~doc:
+         "Parse a .ppl file, tile it, print and validate the hardware \
+          design, and (with --sizes) simulate it.")
+    Term.(const run $ file $ tiles_arg $ sizes_arg $ engine_arg)
+
+let bounds_cmd =
+  let run bench stage =
+    let prog = stage_prog bench stage in
+    let fs = Bounds.check_program prog in
+    List.iter (fun f -> Format.printf "%a@." Bounds.pp_finding f) fs;
+    let v = List.length (Bounds.violations fs) in
+    Printf.printf "%d accesses: %d proven, %d unknown, %d violations\n"
+      (List.length fs)
+      (List.length fs - v - List.length (Bounds.unproven fs))
+      (List.length (Bounds.unproven fs))
+      v;
+    if v > 0 then exit 1
+  in
+  Cmd.v
+    (Cmd.info "bounds"
+       ~doc:
+         "Statically verify that every input access of the (tiled) program           stays within its declared shape.")
+    Term.(const run $ bench_arg $ stage_arg)
+
+let export_cmd =
+  let outdir =
+    Arg.(
+      value & opt string "artifacts"
+      & info [ "o"; "outdir" ] ~docv:"DIR" ~doc:"Output directory.")
+  in
+  let run outdir =
+    (try Unix.mkdir outdir 0o755 with Unix.Unix_error (Unix.EEXIST, _, _) -> ());
+    let write name contents =
+      let oc = open_out (Filename.concat outdir name) in
+      output_string oc contents;
+      close_out oc;
+      Printf.printf "  wrote %s\n" (Filename.concat outdir name)
+    in
+    List.iter
+      (fun (bench : Suite.bench) ->
+        let r = tiling_of bench in
+        let d = Experiments.design_of Experiments.Tiled_meta bench in
+        write (bench.Suite.name ^ ".ppl") (Pp.program_to_string r.Tiling.tiled);
+        write (bench.Suite.name ^ ".maxj") (Maxj.emit d);
+        write (bench.Suite.name ^ ".dot") (Dot.emit d);
+        write (bench.Suite.name ^ ".design") (Hw_pp.design_to_string d))
+      (benches ());
+    Printf.printf "exported %d benchmarks to %s/\n" (List.length (benches ()))
+      outdir
+  in
+  Cmd.v
+    (Cmd.info "export"
+       ~doc:
+         "Write every benchmark's tiled IR, MaxJ-like kernel, Graphviz           diagram and design listing to a directory.")
+    Term.(const run $ outdir)
+
+let traffic_cmd =
+  let profile_flag =
+    Arg.(
+      value & flag
+      & info [ "profile" ]
+          ~doc:
+            "Also execute the tiled program in the interpreter (at test \
+             sizes) and report its independent per-input word counts.")
+  in
+  let run bench profile =
+    let rows = Experiments.traffic ~profile bench in
+    Experiments.print_traffic bench.Suite.name rows;
+    if profile then
+      print_endline
+        "(profile runs at test sizes; simulated columns use the same sizes)"
+  in
+  Cmd.v
+    (Cmd.info "traffic"
+       ~doc:
+         "Per-input DRAM read words under the baseline and tiled designs \
+          (the Fig. 5c analysis generalized to any benchmark).")
+    Term.(const run $ bench_arg $ profile_flag)
+
+let check_cmd =
+  let bench_opt =
+    Arg.(
+      value
+      & pos 0 (some bench_conv) None
+      & info [] ~docv:"BENCH"
+          ~doc:"Benchmark to check; omitted = the whole suite.")
+  in
+  let failures = ref 0 in
+  let report name ok detail =
+    Printf.printf "  %-28s %s%s\n" name
+      (if ok then "ok" else "FAIL")
+      (if detail = "" then "" else " (" ^ detail ^ ")");
+    if not ok then incr failures
+  in
+  let check_bench (bench : Suite.bench) =
+    Printf.printf "%s\n" bench.Suite.name;
+    let r = tiling_of bench in
+    let stages =
+      [ ("fused", r.Tiling.fused);
+        ("strip-mined", r.Tiling.stripped);
+        ("strip-mined+copies", r.Tiling.stripped_with_copies);
+        ("interchanged", r.Tiling.tiled) ]
+    in
+    (* 1. every stage type-checks *)
+    List.iter
+      (fun (name, prog) ->
+        match Validate.check_program prog with
+        | _ -> report ("types: " ^ name) true ""
+        | exception Validate.Type_error msg -> report ("types: " ^ name) false msg)
+      stages;
+    (* 2. every stage evaluates to the reference result *)
+    let sizes = bench.Suite.test_sizes in
+    let inputs = bench.Suite.gen ~sizes ~seed:2026 in
+    let reference = Eval.eval_program bench.Suite.prog ~sizes ~inputs in
+    List.iter
+      (fun (name, prog) ->
+        let v = Eval.eval_program prog ~sizes ~inputs in
+        report ("semantics: " ^ name) (Value.equal ~eps:1e-6 reference v) "")
+      stages;
+    (* 3. printed tiled IR parses back to an equivalent program *)
+    (match
+       let parsed = Parser.program_of_string (Pp.program_to_string r.Tiling.tiled) in
+       (* the parser mints fresh symbols: rebind sizes by base name and
+          inputs by declaration order *)
+       let by_base = List.map (fun (s, v) -> (Sym.base s, v)) sizes in
+       let sizes' =
+         List.map (fun s -> (s, List.assoc (Sym.base s) by_base)) parsed.Ir.size_params
+       in
+       let inputs' =
+         List.map2
+           (fun (pi : Ir.input) (oi : Ir.input) ->
+             (pi.Ir.iname, List.assoc oi.Ir.iname inputs))
+           parsed.Ir.inputs bench.Suite.prog.Ir.inputs
+       in
+       Eval.eval_program parsed ~sizes:sizes' ~inputs:inputs'
+     with
+    | v -> report "printer/parser roundtrip" (Value.equal ~eps:1e-6 reference v) ""
+    | exception e -> report "printer/parser roundtrip" false (Printexc.to_string e));
+    (* 4. static bounds on the tiled program *)
+    let fs = Bounds.check_program r.Tiling.tiled in
+    let v = List.length (Bounds.violations fs) in
+    report "bounds: tiled accesses" (v = 0)
+      (Printf.sprintf "%d proven, %d unknown, %d violations"
+         (List.length fs - v - List.length (Bounds.unproven fs))
+         (List.length (Bounds.unproven fs))
+         v);
+    (* 5. every configuration's design passes the hardware validator *)
+    List.iter
+      (fun cfg ->
+        let d = Experiments.design_of cfg bench in
+        let fs = Hw_check.check d in
+        report
+          ("design: " ^ Experiments.config_name cfg)
+          (fs = [])
+          (String.concat "; "
+             (List.map (Format.asprintf "%a" Hw_check.pp_finding) fs)))
+      [ Experiments.Baseline; Experiments.Tiled; Experiments.Tiled_meta ];
+    (* 6. the two simulation engines agree on the final design *)
+    let d = Experiments.design_of Experiments.Tiled_meta bench in
+    let a = (Simulate.run d ~sizes:bench.Suite.sim_sizes).Simulate.cycles in
+    let e = (Event_sim.run d ~sizes:bench.Suite.sim_sizes).Event_sim.report.Simulate.cycles in
+    let dev = Float.abs (a -. e) /. Float.max a e in
+    report "engines agree" (dev < 0.02) (Printf.sprintf "deviation %.2f%%" (100.0 *. dev));
+    (* 7. the design fits the chip *)
+    let area = Area_model.of_design d in
+    report "fits Stratix V" (Area_model.fits area) ""
+  in
+  let run bench_opt =
+    (match bench_opt with
+    | Some b -> check_bench b
+    | None -> List.iter check_bench (benches ()));
+    if !failures > 0 then begin
+      Printf.printf "%d check(s) failed\n" !failures;
+      exit 1
+    end
+  in
+  Cmd.v
+    (Cmd.info "check"
+       ~doc:
+         "Run every validator on a benchmark (or the suite): type checker \
+          on all tiling stages, interpreter equivalence against the source \
+          program, printer/parser roundtrip, static bounds, analytic/event \
+          engine agreement, and chip fit.")
+    Term.(const run $ bench_opt)
+
+let fig7_cmd =
+  let run () = Experiments.print_fig7 (Experiments.fig7 (Suite.all ())) in
+  Cmd.v
+    (Cmd.info "fig7"
+       ~doc:
+         "Reproduce Fig. 7: speedups and relative resource usage of tiling \
+          and metapipelining over the baseline, across the suite.")
+    Term.(const run $ const ())
+
+let default =
+  Term.(ret (const (`Help (`Pager, None))))
+
+let setup_logs verbose =
+  Fmt_tty.setup_std_outputs ();
+  Logs.set_reporter (Logs.format_reporter ());
+  Logs.set_level (Some (if verbose then Logs.Debug else Logs.Warning))
+
+let verbose_arg =
+  Arg.(value & flag & info [ "v"; "verbose" ] ~doc:"Trace compiler passes.")
+
+let () =
+  let info =
+    Cmd.info "ppl-fpga" ~version:"1.0.0"
+      ~doc:
+        "Configurable hardware from parallel patterns: tiling and \
+         metapipelining compiler with an FPGA performance model."
+  in
+  ignore verbose_arg;
+  (* light-weight: -v anywhere on the command line enables pass tracing
+     (stripped before cmdliner parses the rest) *)
+  let verbose = Array.exists (fun a -> a = "-v" || a = "--verbose") Sys.argv in
+  setup_logs verbose;
+  let argv =
+    Array.of_list
+      (List.filter
+         (fun a -> a <> "-v" && a <> "--verbose")
+         (Array.to_list Sys.argv))
+  in
+  exit
+    (Cmd.eval ~argv
+       (Cmd.group ~default info
+          [ list_cmd; ir_cmd; design_cmd; maxj_cmd; dot_cmd; simulate_cmd;
+            verify_cmd; check_cmd; traffic_cmd; stats_cmd; bounds_cmd;
+            compile_cmd; dse_cmd; export_cmd; fig5c_cmd; fig7_cmd ]))

@@ -1,0 +1,83 @@
+(* The paper's running example, end to end: k-means clustering (Fig. 3-6).
+
+   Shows the IR after each transformation stage (Fig. 4 -> Fig. 5a -> 5b),
+   the Fig. 5c traffic table, the generated hardware (Fig. 6), and the
+   three simulated configurations of Fig. 7.
+
+   Run: dune exec examples/kmeans_clustering.exe *)
+
+let section title =
+  Printf.printf "\n%s\n%s\n" title (String.make (String.length title) '-')
+
+let () =
+  let t = Kmeans.make () in
+  let n = 4096 and k = 64 and d = 16 in
+  let b0 = 256 and b1 = 16 in
+  let tiles = [ (t.Kmeans.n, b0); (t.Kmeans.k, b1) ] in
+  let sizes = [ (t.Kmeans.n, n); (t.Kmeans.k, k); (t.Kmeans.d, d) ] in
+
+  section "k-means in PPL (Fig. 4: fused parallel patterns)";
+  print_endline (Pp.program_to_string t.Kmeans.prog);
+
+  let r = Tiling.run ~tiles t.Kmeans.prog in
+
+  section "strip-mined (Fig. 5a: tiles for points and centroids)";
+  print_endline (Pp.program_to_string r.Tiling.stripped_with_copies);
+
+  section "interchanged (Fig. 5b: centroid tiles reused across the point tile)";
+  print_endline (Pp.program_to_string r.Tiling.tiled);
+
+  section "correctness: every stage against the reference implementation";
+  let points, centroids = Kmeans.raw_inputs ~seed:3 ~n ~k ~d in
+  let inputs = Kmeans.gen_inputs t ~seed:3 ~n ~k ~d in
+  let expected = Workloads.value_of_matrix (Kmeans.reference ~points ~centroids) in
+  List.iter
+    (fun (name, prog) ->
+      let v = Eval.eval_program prog ~sizes ~inputs in
+      Printf.printf "  %-24s %s\n" name
+        (if Value.equal ~eps:1e-4 expected v then "matches reference"
+         else "MISMATCH"))
+    [ ("fused", r.Tiling.fused);
+      ("strip-mined", r.Tiling.stripped_with_copies);
+      ("interchanged", r.Tiling.tiled) ];
+
+  section "Fig. 5c: main-memory words per structure";
+  Experiments.print_fig5c (Experiments.fig5c ~n:1024 ~k:256 ~d:32 ~b0:64 ~b1:16 ());
+
+  section "generated hardware (Fig. 6)";
+  let design = Lower.program Lower.default_opts r.Tiling.tiled in
+  print_string (Hw_pp.design_to_string design);
+
+  section "the three configurations of Section 6.2";
+  let bench = Suite.find (Suite.all ()) "kmeans" in
+  List.iter
+    (fun cfg ->
+      let dsg = Experiments.design_of cfg bench in
+      let rep = Simulate.run dsg ~sizes:bench.Suite.sim_sizes in
+      Printf.printf "  %-24s %12.0f cycles  (%.2f ms, DRAM reads %.0f words)\n"
+        (Experiments.config_name cfg) rep.Simulate.cycles
+        (1e3 *. Machine.seconds Machine.default rep.Simulate.cycles)
+        (Simulate.total_read rep))
+    [ Experiments.Baseline; Experiments.Tiled; Experiments.Tiled_meta ];
+
+  section "host loop: iterating to convergence (the paper's outer repeat)";
+  (* the paper runs one refinement per invocation; the host re-invokes the
+     bitstream until the centroids stop changing.  Model 10 iterations. *)
+  let dsg = Experiments.design_of Experiments.Tiled_meta bench in
+  (* look the suite's sizes up by base name: the suite instance carries its
+     own symbols *)
+  let size_by_base nm =
+    match
+      List.find_opt (fun (s, _) -> Sym.base s = nm) bench.Suite.sim_sizes
+    with
+    | Some (_, v) -> v
+    | None -> 0
+  in
+  let nv = size_by_base "n" and kv = size_by_base "k" and dv = size_by_base "d" in
+  let input_bytes = float_of_int (((nv * dv) + (kv * dv)) * 4) in
+  let output_bytes = float_of_int (kv * dv * 4) in
+  let s =
+    Runtime.run dsg ~sizes:bench.Suite.sim_sizes ~input_bytes ~output_bytes
+      ~invocations:10
+  in
+  Format.printf "  10 iterations: %a@." Runtime.pp_summary s

@@ -1,0 +1,55 @@
+(* Matrix multiplication and the interchange rule (Table 3).
+
+   Walks gemm through strip mining and pattern interchange, showing how
+   interchange moves the strided p-tile fold out of the unstrided tile map
+   — and what that does to DRAM traffic and simulated runtime.
+
+   Run: dune exec examples/matmul_tiling.exe *)
+
+let section title =
+  Printf.printf "\n%s\n%s\n" title (String.make (String.length title) '-')
+
+let () =
+  let t = Gemm.make () in
+  let b = 64 in
+  let tiles = [ (t.Gemm.m, b); (t.Gemm.n, b); (t.Gemm.p, b) ] in
+  let r = Tiling.run ~tiles t.Gemm.prog in
+
+  section "gemm in PPL";
+  print_endline (Pp.program_to_string t.Gemm.prog);
+
+  section "strip-mined (Table 3, middle column)";
+  print_endline (Pp.program_to_string r.Tiling.stripped);
+
+  section "interchanged (Table 3, right column: yTile hoisted into the p-tile fold)";
+  print_endline (Pp.program_to_string r.Tiling.tiled);
+
+  section "correctness";
+  let m = 48 and n = 40 and p = 56 in
+  let sizes = [ (t.Gemm.m, m); (t.Gemm.n, n); (t.Gemm.p, p) ] in
+  let inputs = Gemm.gen_inputs t ~seed:5 ~m ~n ~p in
+  let x, y = Gemm.raw_inputs ~seed:5 ~m ~n ~p in
+  let expected = Workloads.value_of_matrix (Gemm.reference x y) in
+  Printf.printf "  tiled result %s\n"
+    (if
+       Value.equal ~eps:1e-5 expected
+         (Eval.eval_program r.Tiling.tiled ~sizes ~inputs)
+     then "matches reference"
+     else "MISMATCH");
+
+  section "effect of interchange on DRAM traffic (1024^3, tiles 128)";
+  let bench = Suite.find (Suite.all ()) "gemm" in
+  let sim prog opts =
+    let d = Lower.program opts prog in
+    Simulate.run d ~sizes:bench.Suite.sim_sizes
+  in
+  let r' = Tiling.run ~tiles:bench.Suite.tiles bench.Suite.prog in
+  let seq = { Lower.default_opts with Lower.meta = false } in
+  List.iter
+    (fun (name, rep) ->
+      Printf.printf "  %-28s reads %12.0f words   %12.0f cycles\n" name
+        (Simulate.total_read rep) rep.Simulate.cycles)
+    [ ("baseline (burst locality)", sim r'.Tiling.fused Lower.baseline_opts);
+      ("strip-mined only", sim r'.Tiling.stripped_with_copies seq);
+      ("strip-mined + interchange", sim r'.Tiling.tiled seq);
+      ("            + metapipelining", sim r'.Tiling.tiled Lower.default_opts) ]

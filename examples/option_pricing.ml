@@ -1,0 +1,66 @@
+(* Option pricing: compile the Black-Scholes benchmark and use the
+   analysis tooling — per-input traffic, metapipeline bottlenecks, and
+   pipeline-depth estimation — to understand where its cycles go.
+
+   Black-Scholes is the anti-kmeans: a pure streaming workload where every
+   input word is used exactly once, so tiling cannot reduce traffic and
+   the interesting question is whether the deep floating-point datapath
+   (log, exp, sqrt, divide) or the DRAM stream sets the pace.
+
+   Run: dune exec examples/option_pricing.exe *)
+
+let () =
+  let bench = Suite.find (Suite.extended ()) "blackscholes" in
+
+  (* 1. Price a small batch in the reference interpreter and check it
+     against the plain-OCaml formula *)
+  let t = Blackscholes.make () in
+  let n = 16 in
+  let s, k, tm = Blackscholes.raw_inputs ~seed:42 ~n in
+  let v =
+    Eval.eval_program t.Blackscholes.prog
+      ~sizes:[ (t.Blackscholes.n, n) ]
+      ~inputs:(Blackscholes.gen_inputs t ~seed:42 ~n)
+  in
+  let expected = Blackscholes.reference ~sptprice:s ~strike:k ~time:tm in
+  print_endline "option    spot   strike   years    price";
+  (match v with
+  | Value.Arr arr ->
+      for i = 0 to 4 do
+        match Ndarray.get arr [ i ] with
+        | Value.F p ->
+            Printf.printf "%4d    %6.2f  %6.2f   %5.2f   %6.3f  (ref %6.3f)\n"
+              i s.(i) k.(i) tm.(i) p expected.(i)
+        | _ -> assert false
+      done
+  | _ -> assert false);
+
+  (* 2. The datapath is deep: estimate the pipe's fill latency *)
+  let d = Experiments.design_of Experiments.Tiled_meta bench in
+  let deepest =
+    Hw.fold_ctrls
+      (fun acc c ->
+        match c with Hw.Pipe { depth; _ } -> Int.max acc depth | _ -> acc)
+      0 d.Hw.top
+  in
+  Printf.printf "\ndeepest pipe: %d stages of pipeline registers\n" deepest;
+
+  (* 3. Traffic: tiling buys nothing on a streaming workload *)
+  print_newline ();
+  Experiments.print_traffic bench.Suite.name (Experiments.traffic bench);
+
+  (* 4. So what limits the design? Ask the bottleneck analysis. *)
+  print_newline ();
+  Format.printf "%a" Simulate.pp_bottlenecks
+    (Simulate.bottlenecks d ~sizes:bench.Suite.sim_sizes);
+
+  (* 5. And the bottom line across the three configurations *)
+  print_newline ();
+  List.iter
+    (fun cfg ->
+      let d = Experiments.design_of cfg bench in
+      let rep = Simulate.run d ~sizes:bench.Suite.sim_sizes in
+      Printf.printf "%-24s %12.0f cycles  (%.3f ms at 150 MHz)\n"
+        (Experiments.config_name cfg) rep.Simulate.cycles
+        (1e3 *. Machine.seconds Machine.default rep.Simulate.cycles))
+    [ Experiments.Baseline; Experiments.Tiled; Experiments.Tiled_meta ]

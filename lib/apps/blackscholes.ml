@@ -1,0 +1,76 @@
+open Dsl
+
+type t = {
+  prog : Ir.program;
+  n : Sym.t;
+  sptprice : Ir.input;
+  strike : Ir.input;
+  time : Ir.input;
+}
+
+let rate = 0.05
+let volatility = 0.2
+
+(* logistic approximation of the cumulative normal: branch-free, so the
+   whole option price is a single deep datapath *)
+let cnd_coeff = 1.702
+
+let make () =
+  let n = size "n" in
+  let sptprice = input "sptprice" Ty.float_ [ Ir.Var n ] in
+  let strike = input "strike" Ty.float_ [ Ir.Var n ] in
+  let time = input "time" Ty.float_ [ Ir.Var n ] in
+  let exp_ x = Ir.Prim (Ir.Exp, [ x ]) in
+  let log_ x = Ir.Prim (Ir.Log, [ x ]) in
+  let cnd x = f 1.0 /! (f 1.0 +! exp_ (neg (f cnd_coeff *! x))) in
+  let body =
+    map1
+      (dfull (Ir.Var n))
+      (fun idx ->
+        let_ ~name:"s" (read (in_var sptprice) [ idx ]) (fun s ->
+            let_ ~name:"k" (read (in_var strike) [ idx ]) (fun k ->
+                let_ ~name:"t" (read (in_var time) [ idx ]) (fun t ->
+                    let_ ~name:"volsqrt" (f volatility *! sqrt_ t)
+                      (fun volsqrt ->
+                        let_ ~name:"d1"
+                          ((log_ (s /! k)
+                           +! ((f rate
+                               +! (f (0.5 *. volatility *. volatility)))
+                              *! t))
+                          /! volsqrt)
+                          (fun d1 ->
+                            (s *! cnd d1)
+                            -! (k
+                               *! exp_ (neg (f rate *! t))
+                               *! cnd (d1 -! volsqrt))))))))
+  in
+  let prog =
+    program ~name:"blackscholes" ~sizes:[ n ]
+      ~max_sizes:[ (n, 1 lsl 22) ]
+      ~inputs:[ sptprice; strike; time ] body
+  in
+  { prog; n; sptprice; strike; time }
+
+let raw_inputs ~seed ~n =
+  let rng = Workloads.Rng.make seed in
+  let s = Array.init n (fun _ -> 10.0 +. Workloads.Rng.float rng 90.0) in
+  let k = Array.init n (fun _ -> 10.0 +. Workloads.Rng.float rng 90.0) in
+  let t = Array.init n (fun _ -> 0.1 +. Workloads.Rng.float rng 1.9) in
+  (s, k, t)
+
+let gen_inputs t ~seed ~n =
+  let s, k, tm = raw_inputs ~seed ~n in
+  [ (t.sptprice.Ir.iname, Workloads.value_of_vector s);
+    (t.strike.Ir.iname, Workloads.value_of_vector k);
+    (t.time.Ir.iname, Workloads.value_of_vector tm) ]
+
+let reference ~sptprice ~strike ~time =
+  let cnd x = 1.0 /. (1.0 +. exp (-.cnd_coeff *. x)) in
+  Array.init (Array.length sptprice) (fun i ->
+      let s = sptprice.(i) and k = strike.(i) and t = time.(i) in
+      let volsqrt = volatility *. sqrt t in
+      let d1 =
+        (log (s /. k) +. ((rate +. (0.5 *. volatility *. volatility)) *. t))
+        /. volsqrt
+      in
+      (s *. cnd d1) -. (k *. exp (-.rate *. t) *. cnd (d1 -. volsqrt)))

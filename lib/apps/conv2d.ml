@@ -1,0 +1,63 @@
+open Dsl
+
+type t = {
+  prog : Ir.program;
+  h : Sym.t;
+  w : Sym.t;
+  img : Ir.input;
+  kernel : Ir.input;
+  kh : int;
+  kw : int;
+}
+
+let make ?(kh = 3) ?(kw = 3) () =
+  let h = size "h" and w = size "w" in
+  let img =
+    input "img" Ty.float_
+      [ Ir.Prim (Ir.Add, [ Ir.Var h; i (kh - 1) ]);
+        Ir.Prim (Ir.Add, [ Ir.Var w; i (kw - 1) ]) ]
+  in
+  let kernel = input "kernel" Ty.float_ [ i kh; i kw ] in
+  let body =
+    map2d (dfull (Ir.Var h)) (dfull (Ir.Var w)) (fun row col ->
+        fold
+          [ dfull (i kh); dfull (i kw) ]
+          ~init:(f 0.0)
+          ~comb:(fun a b -> a +! b)
+          (fun taps acc ->
+            match taps with
+            | [ u; v ] ->
+                acc
+                +! (read (in_var img) [ row +! u; col +! v ]
+                   *! read (in_var kernel) [ u; v ])
+            | _ -> assert false))
+  in
+  let prog =
+    program ~name:"conv2d" ~sizes:[ h; w ]
+      ~max_sizes:[ (h, 1 lsl 14); (w, 1 lsl 14) ]
+      ~inputs:[ img; kernel ] body
+  in
+  { prog; h; w; img; kernel; kh; kw }
+
+let raw_inputs t ~seed ~h ~w =
+  let rng = Workloads.Rng.make seed in
+  let img = Workloads.float_matrix rng (h + t.kh - 1) (w + t.kw - 1) in
+  let kernel = Workloads.float_matrix rng t.kh t.kw in
+  (img, kernel)
+
+let gen_inputs t ~seed ~h ~w =
+  let img, kernel = raw_inputs t ~seed ~h ~w in
+  [ (t.img.Ir.iname, Workloads.value_of_matrix img);
+    (t.kernel.Ir.iname, Workloads.value_of_matrix kernel) ]
+
+let reference ~img ~kernel ~h ~w =
+  let kh = Array.length kernel and kw = Array.length kernel.(0) in
+  Array.init h (fun row ->
+      Array.init w (fun col ->
+          let acc = ref 0.0 in
+          for u = 0 to kh - 1 do
+            for v = 0 to kw - 1 do
+              acc := !acc +. (img.(row + u).(col + v) *. kernel.(u).(v))
+            done
+          done;
+          !acc))

@@ -1,0 +1,30 @@
+(** 2-D convolution — an extension application from the paper's motivating
+    image-processing domain (Section 1).
+
+    [out(i,j) = sum_{u,v} img(i+u, j+v) * kernel(u,v)].
+
+    Not part of the Fig. 7 suite; it exercises what the suite does not:
+    multidimensional [Fold] domains and two-dimensional sliding-window
+    tile copies with reuse factors in both dimensions. *)
+
+type t = {
+  prog : Ir.program;
+  h : Sym.t;  (** output height *)
+  w : Sym.t;  (** output width *)
+  img : Ir.input;  (** (h + kh - 1) x (w + kw - 1) *)
+  kernel : Ir.input;  (** kh x kw, compile-time kernel extent *)
+  kh : int;
+  kw : int;
+}
+
+val make : ?kh:int -> ?kw:int -> unit -> t
+(** Default kernel: 3 x 3. *)
+
+val gen_inputs : t -> seed:int -> h:int -> w:int -> (Sym.t * Value.t) list
+
+val reference :
+  img:float array array -> kernel:float array array -> h:int -> w:int ->
+  float array array
+
+val raw_inputs :
+  t -> seed:int -> h:int -> w:int -> float array array * float array array

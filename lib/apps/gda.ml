@@ -1,0 +1,78 @@
+open Dsl
+
+type t = {
+  prog : Ir.program;
+  n : Sym.t;
+  d : Sym.t;
+  x : Ir.input;
+  y : Ir.input;
+  mu : Ir.input;
+}
+
+let make () =
+  let n = size "n" and d = size "d" in
+  let x = input "x" Ty.float_ [ Ir.Var n; Ir.Var d ] in
+  let y = input "y" Ty.int_ [ Ir.Var n ] in
+  let mu = input "mu" Ty.float_ [ i 2; Ir.Var d ] in
+  let sub sample j =
+    read (in_var x) [ sample; j ]
+    -! read (in_var mu) [ read (in_var y) [ sample ]; j ]
+  in
+  let body =
+    fold1
+      (dfull (Ir.Var n))
+      ~init:(zeros Ty.Float [ Ir.Var d; Ir.Var d ])
+      ~comb:(fun a b ->
+        map2d (dfull (Ir.Var d)) (dfull (Ir.Var d)) (fun r c ->
+            read a [ r; c ] +! read b [ r; c ]))
+      (fun sample acc ->
+        map2d (dfull (Ir.Var d)) (dfull (Ir.Var d)) (fun r c ->
+            read acc [ r; c ] +! (sub sample r *! sub sample c)))
+  in
+  let prog =
+    program ~name:"gda" ~sizes:[ n; d ]
+      ~max_sizes:[ (n, 1 lsl 20); (d, 128) ]
+      ~inputs:[ x; y; mu ] body
+  in
+  { prog; n; d; x; y; mu }
+
+let raw_inputs ~seed ~n ~d =
+  let rng = Workloads.Rng.make seed in
+  let x = Workloads.clustered_points rng ~n ~d ~k:2 in
+  let y = Workloads.labels rng n in
+  (* class means of the generated data *)
+  let mu =
+    Array.init 2 (fun cls ->
+        let members = ref 0 in
+        let sum = Array.make d 0.0 in
+        Array.iteri
+          (fun idx row ->
+            if y.(idx) = cls then begin
+              incr members;
+              Array.iteri (fun j v -> sum.(j) <- sum.(j) +. v) row
+            end)
+          x;
+        let c = float_of_int (Int.max 1 !members) in
+        Array.map (fun s -> s /. c) sum)
+  in
+  (x, y, mu)
+
+let gen_inputs t ~seed ~n ~d =
+  let x, y, mu = raw_inputs ~seed ~n ~d in
+  [ (t.x.Ir.iname, Workloads.value_of_matrix x);
+    (t.y.Ir.iname, Workloads.value_of_int_vector y);
+    (t.mu.Ir.iname, Workloads.value_of_matrix mu) ]
+
+let reference ~x ~y ~mu =
+  let n = Array.length x in
+  let d = Array.length x.(0) in
+  let sigma = Array.make_matrix d d 0.0 in
+  for sample = 0 to n - 1 do
+    let diff = Array.init d (fun j -> x.(sample).(j) -. mu.(y.(sample)).(j)) in
+    for r = 0 to d - 1 do
+      for c = 0 to d - 1 do
+        sigma.(r).(c) <- sigma.(r).(c) +. (diff.(r) *. diff.(c))
+      done
+    done
+  done;
+  sigma

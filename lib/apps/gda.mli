@@ -1,0 +1,27 @@
+(** Gaussian discriminant analysis benchmark (Table 5).
+
+    Computes the shared covariance matrix
+    [sigma = sum_i (x_i - mu_{y_i}) (x_i - mu_{y_i})^T]
+    for binary-labeled samples.  The per-sample vector subtraction and
+    vector outer product are the stages the paper parallelizes inside the
+    GDA metapipeline; the [mu(y(i), _)] access is data-dependent. *)
+
+type t = {
+  prog : Ir.program;
+  n : Sym.t;
+  d : Sym.t;
+  x : Ir.input;
+  y : Ir.input;
+  mu : Ir.input;
+}
+
+val make : unit -> t
+
+val gen_inputs : t -> seed:int -> n:int -> d:int -> (Sym.t * Value.t) list
+
+val reference :
+  x:float array array -> y:int array -> mu:float array array ->
+  float array array
+
+val raw_inputs :
+  seed:int -> n:int -> d:int -> float array array * int array * float array array

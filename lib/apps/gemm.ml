@@ -1,0 +1,51 @@
+open Dsl
+
+type t = {
+  prog : Ir.program;
+  m : Sym.t;
+  n : Sym.t;
+  p : Sym.t;
+  x : Ir.input;
+  y : Ir.input;
+}
+
+let make () =
+  let m = size "m" and n = size "n" and p = size "p" in
+  let x = input "x" Ty.float_ [ Ir.Var m; Ir.Var p ] in
+  let y = input "y" Ty.float_ [ Ir.Var p; Ir.Var n ] in
+  let body =
+    map2d (dfull (Ir.Var m)) (dfull (Ir.Var n)) (fun row col ->
+        fold1
+          (dfull (Ir.Var p))
+          ~init:(f 0.0)
+          ~comb:(fun a b -> a +! b)
+          (fun k acc ->
+            acc +! (read (in_var x) [ row; k ] *! read (in_var y) [ k; col ])))
+  in
+  let prog =
+    program ~name:"gemm" ~sizes:[ m; n; p ]
+      ~max_sizes:[ (m, 1 lsl 16); (n, 1 lsl 16); (p, 1 lsl 16) ]
+      ~inputs:[ x; y ] body
+  in
+  { prog; m; n; p; x; y }
+
+let raw_inputs ~seed ~m ~n ~p =
+  let rng = Workloads.Rng.make seed in
+  (Workloads.float_matrix rng m p, Workloads.float_matrix rng p n)
+
+let gen_inputs t ~seed ~m ~n ~p =
+  let vx, vy = raw_inputs ~seed ~m ~n ~p in
+  [ (t.x.Ir.iname, Workloads.value_of_matrix vx);
+    (t.y.Ir.iname, Workloads.value_of_matrix vy) ]
+
+let reference x y =
+  let m = Array.length x in
+  let p = Array.length y in
+  let n = Array.length y.(0) in
+  Array.init m (fun row ->
+      Array.init n (fun col ->
+          let acc = ref 0.0 in
+          for k = 0 to p - 1 do
+            acc := !acc +. (x.(row).(k) *. y.(k).(col))
+          done;
+          !acc))

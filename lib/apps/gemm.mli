@@ -1,0 +1,21 @@
+(** Matrix multiplication benchmark (Table 3/5):
+    [out(i,j) = sum_k x(i,k) * y(k,j)]. *)
+
+type t = {
+  prog : Ir.program;
+  m : Sym.t;
+  n : Sym.t;
+  p : Sym.t;
+  x : Ir.input;
+  y : Ir.input;
+}
+
+val make : unit -> t
+
+val gen_inputs :
+  t -> seed:int -> m:int -> n:int -> p:int -> (Sym.t * Value.t) list
+
+val reference : float array array -> float array array -> float array array
+
+val raw_inputs :
+  seed:int -> m:int -> n:int -> p:int -> float array array * float array array

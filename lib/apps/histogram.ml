@@ -1,0 +1,42 @@
+open Dsl
+
+type t = { prog : Ir.program; n : Sym.t; x : Ir.input }
+
+let make () =
+  let n = size "n" in
+  let x = input "x" Ty.float_ [ Ir.Var n ] in
+  let body =
+    groupbyfold
+      (dfull (Ir.Var n))
+      ~init:(i 0)
+      ~comb:(fun a b -> a +! b)
+      (fun row ->
+        (to_int (read (in_var x) [ row ]) /! i 10, fun acc -> acc +! i 1))
+  in
+  let prog =
+    program ~name:"histogram" ~sizes:[ n ]
+      ~max_sizes:[ (n, 1 lsl 24) ]
+      ~inputs:[ x ] body
+  in
+  { prog; n; x }
+
+let raw_inputs ~seed ~n =
+  let rng = Workloads.Rng.make seed in
+  Array.init n (fun _ -> Workloads.Rng.float rng 100.0)
+
+let gen_inputs t ~seed ~n =
+  [ (t.x.Ir.iname, Workloads.value_of_vector (raw_inputs ~seed ~n)) ]
+
+let reference x =
+  let buckets = ref [] in
+  Array.iter
+    (fun v ->
+      let key = int_of_float v / 10 in
+      if List.mem_assoc key !buckets then
+        buckets :=
+          List.map
+            (fun (k, c) -> if k = key then (k, c + 1) else (k, c))
+            !buckets
+      else buckets := !buckets @ [ (key, 1) ])
+    x;
+  !buckets

@@ -1,0 +1,14 @@
+(** Histogram calculation (Table 2's GroupByFold example):
+    [x.groupByFold(0){ r => (r/10, 1) }{ (a,b) => a + b }].
+
+    Not part of the Figure 7 suite, but it exercises the GroupByFold
+    pattern end to end (strip mining rule, CAM template). *)
+
+type t = { prog : Ir.program; n : Sym.t; x : Ir.input }
+
+val make : unit -> t
+val gen_inputs : t -> seed:int -> n:int -> (Sym.t * Value.t) list
+val reference : float array -> (int * int) list
+(** Buckets in first-appearance order, like the PPL semantics. *)
+
+val raw_inputs : seed:int -> n:int -> float array

@@ -1,0 +1,114 @@
+open Dsl
+
+type t = {
+  prog : Ir.program;
+  n : Sym.t;
+  k : Sym.t;
+  d : Sym.t;
+  points : Ir.input;
+  centroids : Ir.input;
+}
+
+let make () =
+  let n = size "n" and k = size "k" and d = size "d" in
+  let points = input "points" Ty.float_ [ Ir.Var n; Ir.Var d ] in
+  let centroids = input "centroids" Ty.float_ [ Ir.Var k; Ir.Var d ] in
+  let dist_to_centroid pt cent =
+    fold1
+      (dfull (Ir.Var d))
+      ~init:(f 0.0)
+      ~comb:(fun a b -> a +! b)
+      (fun p acc ->
+        acc
+        +! square (read (in_var points) [ pt; p ] -! read (in_var centroids) [ cent; p ]))
+  in
+  (* fold(k)((max, -1)){ j => acc => if acc._1 < dist then acc else (dist, j) } *)
+  let min_dist_with_index pt =
+    fold1
+      (dfull (Ir.Var k))
+      ~init:(pair (f infinity) (i (-1)))
+      ~comb:(fun a b -> if_ (fst_ a <! fst_ b) a b)
+      (fun cent acc ->
+        let_ ~name:"dist" (dist_to_centroid pt cent) (fun dist ->
+            if_ (fst_ acc <! dist) acc (pair dist cent)))
+  in
+  let sums_counts =
+    multifold_lets
+      [ dfull (Ir.Var n) ]
+      ~init:(tup [ zeros Ty.Float [ Ir.Var k; Ir.Var d ]; zeros Ty.Float [ Ir.Var k ] ])
+      ~comb:(fun a b ->
+        tup
+          [ map2d (dfull (Ir.Var k)) (dfull (Ir.Var d)) (fun r c ->
+                read (fst_ a) [ r; c ] +! read (fst_ b) [ r; c ]);
+            map1 (dfull (Ir.Var k)) (fun r ->
+                read (snd_ a) [ r ] +! read (snd_ b) [ r ]) ])
+      (fun idxs ->
+        let pt = match idxs with [ pt ] -> pt | _ -> assert false in
+        ( [ ("minDistWithIndex", min_dist_with_index pt) ],
+          fun lets ->
+            let min_idx =
+              match lets with [ mdwi ] -> snd_ mdwi | _ -> assert false
+            in
+            [ (* reduce the point into the sums row at minDistIndex *)
+              { range = [ Ir.Var k; Ir.Var d ];
+                region = [ (min_idx, i 1, Some 1); (i 0, Ir.Var d, None) ];
+                upd =
+                  (fun acc ->
+                    map2d (dfull (i 1)) (dfull (Ir.Var d)) (fun z p ->
+                        read acc [ z; p ] +! read (in_var points) [ pt; p ])) };
+              (* increment the count at minDistIndex *)
+              { range = [ Ir.Var k ];
+                region = point [ min_idx ];
+                upd = (fun acc -> acc +! f 1.0) } ] ))
+  in
+  let body =
+    let_ ~name:"sums_counts" sums_counts (fun sc ->
+        map2d (dfull (Ir.Var k)) (dfull (Ir.Var d)) (fun ci cj ->
+            read (fst_ sc) [ ci; cj ] /! read (snd_ sc) [ ci ]))
+  in
+  let prog =
+    program ~name:"kmeans" ~sizes:[ n; k; d ]
+      ~max_sizes:[ (n, 1 lsl 20); (k, 512); (d, 32) ]
+      ~inputs:[ points; centroids ] body
+  in
+  { prog; n; k; d; points; centroids }
+
+let raw_inputs ~seed ~n ~k ~d =
+  let rng = Workloads.Rng.make seed in
+  let points = Workloads.clustered_points rng ~n ~d ~k in
+  (* initial centroids: the first k points, as is conventional (wrapping
+     when callers ask for more clusters than points) *)
+  let centroids = Array.init k (fun c -> Array.copy points.(c mod n)) in
+  (points, centroids)
+
+let gen_inputs t ~seed ~n ~k ~d =
+  let points, centroids = raw_inputs ~seed ~n ~k ~d in
+  [ (t.points.Ir.iname, Workloads.value_of_matrix points);
+    (t.centroids.Ir.iname, Workloads.value_of_matrix centroids) ]
+
+let reference ~points ~centroids =
+  let n = Array.length points in
+  let d = Array.length points.(0) in
+  let k = Array.length centroids in
+  let sums = Array.make_matrix k d 0.0 in
+  let counts = Array.make k 0.0 in
+  for pt = 0 to n - 1 do
+    let best = ref (-1) and best_dist = ref infinity in
+    for cent = 0 to k - 1 do
+      let dist = ref 0.0 in
+      for p = 0 to d - 1 do
+        let diff = points.(pt).(p) -. centroids.(cent).(p) in
+        dist := !dist +. (diff *. diff)
+      done;
+      (* strict <: ties keep the earlier centroid, like the PPL fold *)
+      if not (!best_dist < !dist) then begin
+        best_dist := !dist;
+        best := cent
+      end
+    done;
+    for p = 0 to d - 1 do
+      sums.(!best).(p) <- sums.(!best).(p) +. points.(pt).(p)
+    done;
+    counts.(!best) <- counts.(!best) +. 1.0
+  done;
+  Array.init k (fun c -> Array.init d (fun p -> sums.(c).(p) /. counts.(c)))

@@ -1,0 +1,30 @@
+(** k-means clustering benchmark — the paper's running example (Fig. 3/4).
+
+    One refinement iteration: assign every point to its closest centroid
+    (MultiFold over the points with a minimum-distance Fold inside,
+    scattering each point into the [sums]/[counts] accumulators at the
+    data-dependent [minDistIndex]), then average to produce the new
+    centroids.  Matches Figure 4 of the paper, including the shared
+    per-iteration binding for [minDistWithIndex]. *)
+
+type t = {
+  prog : Ir.program;
+  n : Sym.t;
+  k : Sym.t;
+  d : Sym.t;
+  points : Ir.input;
+  centroids : Ir.input;
+}
+
+val make : unit -> t
+
+val gen_inputs :
+  t -> seed:int -> n:int -> k:int -> d:int -> (Sym.t * Value.t) list
+
+val reference :
+  points:float array array -> centroids:float array array -> float array array
+(** The new centroids ([sum/count] per cluster; NaN rows for empty
+    clusters, matching the PPL semantics). *)
+
+val raw_inputs :
+  seed:int -> n:int -> k:int -> d:int -> float array array * float array array

@@ -1,0 +1,80 @@
+open Dsl
+
+type t = {
+  prog : Ir.program;
+  n : Sym.t;
+  d : Sym.t;
+  x : Ir.input;
+  y : Ir.input;
+  w : Ir.input;
+}
+
+let make () =
+  let n = size "n" and d = size "d" in
+  let x = input "x" Ty.float_ [ Ir.Var n; Ir.Var d ] in
+  let y = input "y" Ty.float_ [ Ir.Var n ] in
+  let w = input "w" Ty.float_ [ Ir.Var d ] in
+  let dot_wx sample =
+    fold1
+      (dfull (Ir.Var d))
+      ~init:(f 0.0)
+      ~comb:(fun a b -> a +! b)
+      (fun j acc ->
+        acc +! (read (in_var w) [ j ] *! read (in_var x) [ sample; j ]))
+  in
+  let sigmoid z = f 1.0 /! (f 1.0 +! Ir.Prim (Ir.Exp, [ neg z ])) in
+  (* grad = sum_i err_i * x_i, with err_i computed once per sample *)
+  let body =
+    multifold_lets
+      [ dfull (Ir.Var n) ]
+      ~init:(zeros Ty.Float [ Ir.Var d ])
+      ~comb:(fun a b ->
+        map1 (dfull (Ir.Var d)) (fun j -> read a [ j ] +! read b [ j ]))
+      (fun idxs ->
+        let sample = match idxs with [ s ] -> s | _ -> assert false in
+        ( [ ("err", sigmoid (dot_wx sample) -! read (in_var y) [ sample ]) ],
+          fun lets ->
+            let err = match lets with [ e ] -> e | _ -> assert false in
+            [ { range = [ Ir.Var d ];
+                region = [ (i 0, Ir.Var d, None) ];
+                upd =
+                  (fun acc ->
+                    map1 (dfull (Ir.Var d)) (fun j ->
+                        read acc [ j ] +! (err *! read (in_var x) [ sample; j ])))
+              } ] ))
+  in
+  let prog =
+    program ~name:"logreg" ~sizes:[ n; d ]
+      ~max_sizes:[ (n, 1 lsl 20); (d, 256) ]
+      ~inputs:[ x; y; w ] body
+  in
+  { prog; n; d; x; y; w }
+
+let raw_inputs ~seed ~n ~d =
+  let rng = Workloads.Rng.make seed in
+  let x = Workloads.float_matrix rng n d in
+  let y = Array.init n (fun _ -> float_of_int (Workloads.Rng.int rng 2)) in
+  let w = Workloads.float_vector rng d in
+  (x, y, w)
+
+let gen_inputs t ~seed ~n ~d =
+  let x, y, w = raw_inputs ~seed ~n ~d in
+  [ (t.x.Ir.iname, Workloads.value_of_matrix x);
+    (t.y.Ir.iname, Workloads.value_of_vector y);
+    (t.w.Ir.iname, Workloads.value_of_vector w) ]
+
+let reference ~x ~y ~w =
+  let n = Array.length x in
+  let d = Array.length w in
+  let grad = Array.make d 0.0 in
+  for s = 0 to n - 1 do
+    let z = ref 0.0 in
+    for j = 0 to d - 1 do
+      z := !z +. (w.(j) *. x.(s).(j))
+    done;
+    let err = (1.0 /. (1.0 +. exp (-. !z))) -. y.(s) in
+    for j = 0 to d - 1 do
+      grad.(j) <- grad.(j) +. (err *. x.(s).(j))
+    done
+  done;
+  grad

@@ -1,0 +1,28 @@
+(** Logistic regression (one gradient-descent step) — an extension
+    application from the paper's machine-learning motivation.
+
+    [grad(j) = sum_i (sigmoid(w . x_i) - y_i) * x_i(j)]
+
+    Structurally a k-means sibling: a MultiFold over the samples with a
+    shared per-sample binding (the prediction error) feeding a vector
+    accumulator — but with a transcendental ([exp]) in the datapath and a
+    dense (non-scattering) accumulator update. *)
+
+type t = {
+  prog : Ir.program;
+  n : Sym.t;  (** samples *)
+  d : Sym.t;  (** features *)
+  x : Ir.input;  (** n x d *)
+  y : Ir.input;  (** n, labels in {0,1} as floats *)
+  w : Ir.input;  (** d, current weights *)
+}
+
+val make : unit -> t
+
+val gen_inputs : t -> seed:int -> n:int -> d:int -> (Sym.t * Value.t) list
+
+val reference :
+  x:float array array -> y:float array -> w:float array -> float array
+
+val raw_inputs :
+  seed:int -> n:int -> d:int -> float array array * float array * float array

@@ -1,0 +1,49 @@
+open Dsl
+
+type t = {
+  prog : Ir.program;
+  m : Sym.t;
+  n : Sym.t;
+  a : Ir.input;
+  x : Ir.input;
+}
+
+let make () =
+  let m = size "m" and n = size "n" in
+  let a = input "a" Ty.float_ [ Ir.Var m; Ir.Var n ] in
+  let x = input "x" Ty.float_ [ Ir.Var n ] in
+  (* map(m){ i => reduce(n)(0){ j => a(i,j) * x(j) }{(p,q) => p + q} } *)
+  let body =
+    map1
+      (dfull (Ir.Var m))
+      (fun row ->
+        fold1
+          (dfull (Ir.Var n))
+          ~init:(f 0.0)
+          ~comb:(fun p q -> p +! q)
+          (fun col acc ->
+            acc +! (read (in_var a) [ row; col ] *! read (in_var x) [ col ])))
+  in
+  let prog =
+    program ~name:"matvec" ~sizes:[ m; n ]
+      ~max_sizes:[ (m, 1 lsl 20); (n, 1 lsl 14) ]
+      ~inputs:[ a; x ] body
+  in
+  { prog; m; n; a; x }
+
+let raw_inputs ~seed ~m ~n =
+  let rng = Workloads.Rng.make seed in
+  (Workloads.float_matrix rng m n, Workloads.float_vector rng n)
+
+let gen_inputs t ~seed ~m ~n =
+  let av, xv = raw_inputs ~seed ~m ~n in
+  [ (t.a.Ir.iname, Workloads.value_of_matrix av);
+    (t.x.Ir.iname, Workloads.value_of_vector xv) ]
+
+let reference ~a ~x =
+  Array.map
+    (fun row ->
+      let acc = ref 0.0 in
+      Array.iteri (fun j v -> acc := !acc +. (v *. x.(j))) row;
+      !acc)
+    a

@@ -1,0 +1,24 @@
+(** Dense matrix-vector multiply (gemv) — an extension application sitting
+    between sumrows (same loop nest, plus a second operand) and gemm (one
+    fewer dimension).
+
+    Tiling pays through the vector: a tile of [x] is loaded once per
+    column tile and reused by every row of the row tile, so the [x]
+    traffic drops by the row-tile size while [a] streams exactly once
+    either way. *)
+
+type t = {
+  prog : Ir.program;
+  m : Sym.t;  (** rows *)
+  n : Sym.t;  (** columns *)
+  a : Ir.input;  (** m x n *)
+  x : Ir.input;  (** n *)
+}
+
+val make : unit -> t
+
+val gen_inputs : t -> seed:int -> m:int -> n:int -> (Sym.t * Value.t) list
+
+val reference : a:float array array -> x:float array -> float array
+
+val raw_inputs : seed:int -> m:int -> n:int -> float array array * float array

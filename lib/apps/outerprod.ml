@@ -1,0 +1,36 @@
+open Dsl
+
+type t = {
+  prog : Ir.program;
+  m : Sym.t;
+  n : Sym.t;
+  a : Ir.input;
+  b : Ir.input;
+}
+
+let make () =
+  let m = size "m" and n = size "n" in
+  let a = input "a" Ty.float_ [ Ir.Var m ] in
+  let b = input "b" Ty.float_ [ Ir.Var n ] in
+  let body =
+    map2d (dfull (Ir.Var m)) (dfull (Ir.Var n)) (fun row col ->
+        read (in_var a) [ row ] *! read (in_var b) [ col ])
+  in
+  let prog =
+    program ~name:"outerprod" ~sizes:[ m; n ]
+      ~max_sizes:[ (m, 1 lsl 20); (n, 1 lsl 20) ]
+      ~inputs:[ a; b ] body
+  in
+  { prog; m; n; a; b }
+
+let raw_inputs ~seed ~m ~n =
+  let rng = Workloads.Rng.make seed in
+  (Workloads.float_vector rng m, Workloads.float_vector rng n)
+
+let gen_inputs t ~seed ~m ~n =
+  let va, vb = raw_inputs ~seed ~m ~n in
+  [ (t.a.Ir.iname, Workloads.value_of_vector va);
+    (t.b.Ir.iname, Workloads.value_of_vector vb) ]
+
+let reference a b =
+  Array.map (fun x -> Array.map (fun y -> x *. y) b) a

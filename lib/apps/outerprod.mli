@@ -1,0 +1,19 @@
+(** Vector outer product benchmark (Table 5): [out(i,j) = a(i) * b(j)]. *)
+
+type t = {
+  prog : Ir.program;
+  m : Sym.t;
+  n : Sym.t;
+  a : Ir.input;
+  b : Ir.input;
+}
+
+val make : unit -> t
+
+val gen_inputs : t -> seed:int -> m:int -> n:int -> (Sym.t * Value.t) list
+
+val reference : float array -> float array -> float array array
+(** Plain-OCaml result for checking the interpreter and tiled variants. *)
+
+val raw_inputs : seed:int -> m:int -> n:int -> float array * float array
+(** The same data [gen_inputs] produces, in plain form. *)

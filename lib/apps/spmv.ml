@@ -1,0 +1,78 @@
+open Dsl
+
+type t = {
+  prog : Ir.program;
+  m : Sym.t;
+  n : Sym.t;
+  nnz : Sym.t;
+  rowptr : Ir.input;
+  cols : Ir.input;
+  vals : Ir.input;
+  x : Ir.input;
+}
+
+let make () =
+  let m = size "m" and n = size "n" and nnz = size "nnz" in
+  let rowptr = input "rowptr" Ty.int_ [ Ir.Prim (Ir.Add, [ Ir.Var m; i 1 ]) ] in
+  let cols = input "cols" Ty.int_ [ Ir.Var nnz ] in
+  let vals = input "vals" Ty.float_ [ Ir.Var nnz ] in
+  let x = input "x" Ty.float_ [ Ir.Var n ] in
+  let body =
+    map1
+      (dfull (Ir.Var m))
+      (fun row ->
+        let_ ~name:"start" (read (in_var rowptr) [ row ]) (fun start ->
+            let_ ~name:"stop"
+              (read (in_var rowptr) [ row +! i 1 ])
+              (fun stop ->
+                fold1
+                  (dfull (stop -! start))
+                  ~init:(f 0.0)
+                  ~comb:(fun a b -> a +! b)
+                  (fun j acc ->
+                    let_ ~name:"k" (start +! j) (fun k ->
+                        acc
+                        +! (read (in_var vals) [ k ]
+                           *! read (in_var x) [ read (in_var cols) [ k ] ]))))))
+  in
+  let prog =
+    program ~name:"spmv" ~sizes:[ m; n; nnz ]
+      ~max_sizes:[ (m, 1 lsl 20); (n, 1 lsl 16); (nnz, 1 lsl 24) ]
+      ~inputs:[ rowptr; cols; vals; x ] body
+  in
+  { prog; m; n; nnz; rowptr; cols; vals; x }
+
+(* a CSR matrix with exactly [nnz] nonzeros spread over [m] rows *)
+let raw_inputs ~seed ~m ~n ~nnz =
+  let rng = Workloads.Rng.make seed in
+  (* distribute nnz across rows: start uniform, then fix the total *)
+  let per_row = Array.make m (nnz / m) in
+  let leftover = nnz - (m * (nnz / m)) in
+  for k = 0 to leftover - 1 do
+    per_row.(k mod m) <- per_row.(k mod m) + 1
+  done;
+  let rowptr = Array.make (m + 1) 0 in
+  for r = 0 to m - 1 do
+    rowptr.(r + 1) <- rowptr.(r) + per_row.(r)
+  done;
+  let cols = Array.init nnz (fun _ -> Workloads.Rng.int rng n) in
+  let vals = Array.init nnz (fun _ -> Workloads.Rng.float rng 1.0) in
+  let x = Workloads.float_vector rng n in
+  (rowptr, cols, vals, x)
+
+let gen_inputs t ~seed ~m ~n ~nnz =
+  let rowptr, cols, vals, x = raw_inputs ~seed ~m ~n ~nnz in
+  [ (t.rowptr.Ir.iname, Workloads.value_of_int_vector rowptr);
+    (t.cols.Ir.iname, Workloads.value_of_int_vector cols);
+    (t.vals.Ir.iname, Workloads.value_of_vector vals);
+    (t.x.Ir.iname, Workloads.value_of_vector x) ]
+
+let reference ~rowptr ~cols ~vals ~x =
+  Array.init
+    (Array.length rowptr - 1)
+    (fun r ->
+      let acc = ref 0.0 in
+      for k = rowptr.(r) to rowptr.(r + 1) - 1 do
+        acc := !acc +. (vals.(k) *. x.(cols.(k)))
+      done;
+      !acc)

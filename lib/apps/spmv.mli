@@ -1,0 +1,30 @@
+(** Sparse matrix-vector multiply over CSR — the extension application
+    that most stresses the paper's generality claim: per-row extents are
+    data-dependent ([rowptr(i+1) - rowptr(i)]), and the [x] gather is
+    indirect ([x(cols(k))]), so polyhedral tooling cannot touch it while
+    the pattern tiling still strip-mines the row loop and the hardware
+    generator allocates a cache for the gather. *)
+
+type t = {
+  prog : Ir.program;
+  m : Sym.t;  (** rows *)
+  n : Sym.t;  (** columns (length of x) *)
+  nnz : Sym.t;  (** nonzeros *)
+  rowptr : Ir.input;  (** m+1 row offsets *)
+  cols : Ir.input;  (** nnz column indices *)
+  vals : Ir.input;  (** nnz values *)
+  x : Ir.input;  (** dense vector *)
+}
+
+val make : unit -> t
+
+val gen_inputs :
+  t -> seed:int -> m:int -> n:int -> nnz:int -> (Sym.t * Value.t) list
+
+val reference :
+  rowptr:int array -> cols:int array -> vals:float array -> x:float array ->
+  float array
+
+val raw_inputs :
+  seed:int -> m:int -> n:int -> nnz:int ->
+  int array * int array * float array * float array

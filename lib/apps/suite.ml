@@ -1,0 +1,195 @@
+type bench = {
+  name : string;
+  description : string;
+  collection_ops : string;
+  prog : Ir.program;
+  tiles : (Sym.t * int) list;
+  sim_sizes : (Sym.t * int) list;
+  test_sizes : (Sym.t * int) list;
+  gen : sizes:(Sym.t * int) list -> seed:int -> (Sym.t * Value.t) list;
+}
+
+let size_of sizes s =
+  match List.find_opt (fun (k, _) -> Sym.equal k s) sizes with
+  | Some (_, v) -> v
+  | None -> raise Not_found
+
+let outerprod () =
+  let t = Outerprod.make () in
+  { name = "outerprod";
+    description = "Vector outer product";
+    collection_ops = "map";
+    prog = t.Outerprod.prog;
+    tiles = [ (t.Outerprod.m, 128); (t.Outerprod.n, 128) ];
+    sim_sizes = [ (t.Outerprod.m, 16384); (t.Outerprod.n, 2048) ];
+    test_sizes = [ (t.Outerprod.m, 13); (t.Outerprod.n, 9) ];
+    gen =
+      (fun ~sizes ~seed ->
+        Outerprod.gen_inputs t ~seed ~m:(size_of sizes t.Outerprod.m)
+          ~n:(size_of sizes t.Outerprod.n)) }
+
+let sumrows () =
+  let t = Sumrows.make () in
+  { name = "sumrows";
+    description = "Matrix summation through rows";
+    collection_ops = "map, reduce";
+    prog = t.Sumrows.prog;
+    tiles = [ (t.Sumrows.m, 4096); (t.Sumrows.n, 16) ];
+    sim_sizes = [ (t.Sumrows.m, 262144); (t.Sumrows.n, 16) ];
+    test_sizes = [ (t.Sumrows.m, 11); (t.Sumrows.n, 17) ];
+    gen =
+      (fun ~sizes ~seed ->
+        Sumrows.gen_inputs t ~seed ~m:(size_of sizes t.Sumrows.m)
+          ~n:(size_of sizes t.Sumrows.n)) }
+
+let gemm () =
+  let t = Gemm.make () in
+  { name = "gemm";
+    description = "Matrix multiplication";
+    collection_ops = "map, reduce";
+    prog = t.Gemm.prog;
+    tiles = [ (t.Gemm.m, 128); (t.Gemm.n, 128); (t.Gemm.p, 128) ];
+    sim_sizes = [ (t.Gemm.m, 1024); (t.Gemm.n, 1024); (t.Gemm.p, 1024) ];
+    test_sizes = [ (t.Gemm.m, 7); (t.Gemm.n, 5); (t.Gemm.p, 9) ];
+    gen =
+      (fun ~sizes ~seed ->
+        Gemm.gen_inputs t ~seed ~m:(size_of sizes t.Gemm.m)
+          ~n:(size_of sizes t.Gemm.n) ~p:(size_of sizes t.Gemm.p)) }
+
+let tpchq6 () =
+  let t = Tpchq6.make () in
+  { name = "tpchq6";
+    description = "TPC-H Query 6";
+    collection_ops = "filter, reduce";
+    prog = t.Tpchq6.prog;
+    tiles = [ (t.Tpchq6.n, 16384) ];
+    sim_sizes = [ (t.Tpchq6.n, 1 lsl 22) ];
+    test_sizes = [ (t.Tpchq6.n, 200) ];
+    gen =
+      (fun ~sizes ~seed -> Tpchq6.gen_inputs t ~seed ~n:(size_of sizes t.Tpchq6.n))
+  }
+
+let gda () =
+  let t = Gda.make () in
+  { name = "gda";
+    description = "Gaussian discriminant analysis";
+    collection_ops = "map, filter, reduce";
+    prog = t.Gda.prog;
+    tiles = [ (t.Gda.n, 1024) ];
+    sim_sizes = [ (t.Gda.n, 65536); (t.Gda.d, 32) ];
+    test_sizes = [ (t.Gda.n, 20); (t.Gda.d, 4) ];
+    gen =
+      (fun ~sizes ~seed ->
+        Gda.gen_inputs t ~seed ~n:(size_of sizes t.Gda.n)
+          ~d:(size_of sizes t.Gda.d)) }
+
+let kmeans () =
+  let t = Kmeans.make () in
+  { name = "kmeans";
+    description = "k-means clustering";
+    collection_ops = "map, groupBy, reduce";
+    prog = t.Kmeans.prog;
+    tiles = [ (t.Kmeans.n, 1024); (t.Kmeans.k, 64) ];
+    sim_sizes = [ (t.Kmeans.n, 65536); (t.Kmeans.k, 512); (t.Kmeans.d, 16) ];
+    test_sizes = [ (t.Kmeans.n, 30); (t.Kmeans.k, 4); (t.Kmeans.d, 3) ];
+    gen =
+      (fun ~sizes ~seed ->
+        Kmeans.gen_inputs t ~seed ~n:(size_of sizes t.Kmeans.n)
+          ~k:(size_of sizes t.Kmeans.k) ~d:(size_of sizes t.Kmeans.d)) }
+
+let all () = [ outerprod (); sumrows (); gemm (); tpchq6 (); gda (); kmeans () ]
+
+(* ------------------- extension applications ------------------- *)
+
+let histogram () =
+  let t = Histogram.make () in
+  { name = "histogram";
+    description = "Bucketed histogram (Table 2's GroupByFold)";
+    collection_ops = "groupBy, reduce";
+    prog = t.Histogram.prog;
+    tiles = [ (t.Histogram.n, 4096) ];
+    sim_sizes = [ (t.Histogram.n, 1 lsl 20) ];
+    test_sizes = [ (t.Histogram.n, 100) ];
+    gen =
+      (fun ~sizes ~seed ->
+        Histogram.gen_inputs t ~seed ~n:(size_of sizes t.Histogram.n)) }
+
+let conv2d () =
+  let t = Conv2d.make () in
+  { name = "conv2d";
+    description = "2-D convolution (3x3, sliding-window reuse)";
+    collection_ops = "map, reduce";
+    prog = t.Conv2d.prog;
+    tiles = [ (t.Conv2d.h, 128); (t.Conv2d.w, 128) ];
+    sim_sizes = [ (t.Conv2d.h, 1024); (t.Conv2d.w, 1024) ];
+    test_sizes = [ (t.Conv2d.h, 7); (t.Conv2d.w, 9) ];
+    gen =
+      (fun ~sizes ~seed ->
+        Conv2d.gen_inputs t ~seed ~h:(size_of sizes t.Conv2d.h)
+          ~w:(size_of sizes t.Conv2d.w)) }
+
+let logreg () =
+  let t = Logreg.make () in
+  { name = "logreg";
+    description = "Logistic regression gradient step";
+    collection_ops = "map, reduce";
+    prog = t.Logreg.prog;
+    tiles = [ (t.Logreg.n, 1024) ];
+    sim_sizes = [ (t.Logreg.n, 65536); (t.Logreg.d, 32) ];
+    test_sizes = [ (t.Logreg.n, 25); (t.Logreg.d, 4) ];
+    gen =
+      (fun ~sizes ~seed ->
+        Logreg.gen_inputs t ~seed ~n:(size_of sizes t.Logreg.n)
+          ~d:(size_of sizes t.Logreg.d)) }
+
+let blackscholes () =
+  let t = Blackscholes.make () in
+  { name = "blackscholes";
+    description = "Black-Scholes option pricing (streaming)";
+    collection_ops = "map";
+    prog = t.Blackscholes.prog;
+    tiles = [ (t.Blackscholes.n, 16384) ];
+    sim_sizes = [ (t.Blackscholes.n, 1 lsl 22) ];
+    test_sizes = [ (t.Blackscholes.n, 50) ];
+    gen =
+      (fun ~sizes ~seed ->
+        Blackscholes.gen_inputs t ~seed ~n:(size_of sizes t.Blackscholes.n)) }
+
+let matvec () =
+  let t = Matvec.make () in
+  { name = "matvec";
+    description = "Dense matrix-vector multiply";
+    collection_ops = "map, reduce";
+    prog = t.Matvec.prog;
+    tiles = [ (t.Matvec.m, 1024); (t.Matvec.n, 1024) ];
+    sim_sizes = [ (t.Matvec.m, 16384); (t.Matvec.n, 8192) ];
+    test_sizes = [ (t.Matvec.m, 9); (t.Matvec.n, 7) ];
+    gen =
+      (fun ~sizes ~seed ->
+        Matvec.gen_inputs t ~seed ~m:(size_of sizes t.Matvec.m)
+          ~n:(size_of sizes t.Matvec.n)) }
+
+let spmv () =
+  let t = Spmv.make () in
+  { name = "spmv";
+    description = "Sparse matrix-vector multiply (CSR)";
+    collection_ops = "map, reduce";
+    prog = t.Spmv.prog;
+    tiles = [ (t.Spmv.m, 1024) ];
+    sim_sizes =
+      [ (t.Spmv.m, 65536); (t.Spmv.n, 16384); (t.Spmv.nnz, 16 * 65536) ];
+    test_sizes = [ (t.Spmv.m, 13); (t.Spmv.n, 9); (t.Spmv.nnz, 40) ];
+    gen =
+      (fun ~sizes ~seed ->
+        Spmv.gen_inputs t ~seed ~m:(size_of sizes t.Spmv.m)
+          ~n:(size_of sizes t.Spmv.n)
+          ~nnz:(size_of sizes t.Spmv.nnz)) }
+
+let extended () =
+  all ()
+  @ [ histogram (); conv2d (); logreg (); blackscholes (); matvec (); spmv () ]
+
+let find benches name =
+  match List.find_opt (fun b -> b.name = name) benches with
+  | Some b -> b
+  | None -> raise Not_found

@@ -1,0 +1,37 @@
+open Dsl
+
+type t = { prog : Ir.program; m : Sym.t; n : Sym.t; x : Ir.input }
+
+let make () =
+  let m = size "m" and n = size "n" in
+  let x = input "x" Ty.float_ [ Ir.Var m; Ir.Var n ] in
+  (* multiFold(m,n)(m)(zeros(m)){ (i,j) => (i, acc => acc + x(i,j)) }
+       {(a,b) => map(m){j => a(j) + b(j)}}                       (Table 2) *)
+  let body =
+    multifold
+      [ dfull (Ir.Var m); dfull (Ir.Var n) ]
+      ~init:(zeros Ty.Float [ Ir.Var m ])
+      ~comb:(fun a b ->
+        map1 (dfull (Ir.Var m)) (fun j -> read a [ j ] +! read b [ j ]))
+      (fun idxs ->
+        match idxs with
+        | [ row; col ] ->
+            [ { range = [ Ir.Var m ];
+                region = point [ row ];
+                upd = (fun acc -> acc +! read (in_var x) [ row; col ]) } ]
+        | _ -> assert false)
+  in
+  let prog =
+    program ~name:"sumrows" ~sizes:[ m; n ]
+      ~max_sizes:[ (m, 1 lsl 20); (n, 1 lsl 20) ]
+      ~inputs:[ x ] body
+  in
+  { prog; m; n; x }
+
+let raw_inputs ~seed ~m ~n =
+  Workloads.float_matrix (Workloads.Rng.make seed) m n
+
+let gen_inputs t ~seed ~m ~n =
+  [ (t.x.Ir.iname, Workloads.value_of_matrix (raw_inputs ~seed ~m ~n)) ]
+
+let reference x = Array.map (fun row -> Array.fold_left ( +. ) 0.0 row) x

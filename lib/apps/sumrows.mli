@@ -1,0 +1,10 @@
+(** Matrix row-summation benchmark (Table 2/5):
+    [out(i) = sum_j x(i,j)], written as the paper's fused MultiFold over
+    the whole (m, n) domain with unit update regions. *)
+
+type t = { prog : Ir.program; m : Sym.t; n : Sym.t; x : Ir.input }
+
+val make : unit -> t
+val gen_inputs : t -> seed:int -> m:int -> n:int -> (Sym.t * Value.t) list
+val reference : float array array -> float array
+val raw_inputs : seed:int -> m:int -> n:int -> float array array

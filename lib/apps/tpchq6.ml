@@ -1,0 +1,67 @@
+open Dsl
+
+type t = {
+  prog : Ir.program;
+  n : Sym.t;
+  shipdate : Ir.input;
+  discount : Ir.input;
+  quantity : Ir.input;
+  extendedprice : Ir.input;
+}
+
+let make () =
+  let n = size "n" in
+  let shipdate = input "shipdate" Ty.int_ [ Ir.Var n ] in
+  let discount = input "discount" Ty.float_ [ Ir.Var n ] in
+  let quantity = input "quantity" Ty.float_ [ Ir.Var n ] in
+  let extendedprice = input "extendedprice" Ty.float_ [ Ir.Var n ] in
+  let predicate row =
+    read (in_var shipdate) [ row ] >=! i 19940101
+    &&! (read (in_var shipdate) [ row ] <! i 19950101)
+    &&! (read (in_var discount) [ row ] >=! f 0.05)
+    &&! (read (in_var discount) [ row ] <=! f 0.07)
+    &&! (read (in_var quantity) [ row ] <! f 24.0)
+  in
+  let revenue row =
+    read (in_var extendedprice) [ row ] *! read (in_var discount) [ row ]
+  in
+  let body =
+    let_ ~name:"filtered"
+      (filter (dfull (Ir.Var n)) predicate revenue)
+      (fun filtered ->
+        fold1
+          (dfull (len filtered 0))
+          ~init:(f 0.0)
+          ~comb:(fun a b -> a +! b)
+          (fun j acc -> acc +! read filtered [ j ]))
+  in
+  let prog =
+    program ~name:"tpchq6" ~sizes:[ n ]
+      ~max_sizes:[ (n, 1 lsl 24) ]
+      ~inputs:[ shipdate; discount; quantity; extendedprice ]
+      body
+  in
+  { prog; n; shipdate; discount; quantity; extendedprice }
+
+let raw_inputs ~seed ~n = Workloads.lineitems (Workloads.Rng.make seed) n
+
+let gen_inputs t ~seed ~n =
+  let li = raw_inputs ~seed ~n in
+  [ (t.shipdate.Ir.iname, Workloads.value_of_int_vector li.Workloads.shipdate);
+    (t.discount.Ir.iname, Workloads.value_of_vector li.Workloads.discount);
+    (t.quantity.Ir.iname, Workloads.value_of_vector li.Workloads.quantity);
+    ( t.extendedprice.Ir.iname,
+      Workloads.value_of_vector li.Workloads.extendedprice ) ]
+
+let reference (li : Workloads.lineitem) =
+  let acc = ref 0.0 in
+  Array.iteri
+    (fun idx sd ->
+      if
+        sd >= 19940101 && sd < 19950101
+        && li.discount.(idx) >= 0.05
+        && li.discount.(idx) <= 0.07
+        && li.quantity.(idx) < 24.0
+      then acc := !acc +. (li.extendedprice.(idx) *. li.discount.(idx)))
+    li.shipdate;
+  !acc

@@ -1,0 +1,20 @@
+(** TPC-H Query 6 benchmark (Table 5): filter purchase records by a
+    predicate, then sum [extendedprice * discount] over the survivors.
+
+    Written as a FlatMap (the filter) feeding a Fold — the paper's
+    filter+reduce composition.  The FlatMap's dynamically sized output is
+    what the hardware generator maps to a parallel FIFO (Table 4). *)
+
+type t = {
+  prog : Ir.program;
+  n : Sym.t;
+  shipdate : Ir.input;
+  discount : Ir.input;
+  quantity : Ir.input;
+  extendedprice : Ir.input;
+}
+
+val make : unit -> t
+val gen_inputs : t -> seed:int -> n:int -> (Sym.t * Value.t) list
+val reference : Workloads.lineitem -> float
+val raw_inputs : seed:int -> n:int -> Workloads.lineitem

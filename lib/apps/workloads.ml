@@ -1,0 +1,92 @@
+module Rng = struct
+  (* splitmix64: tiny, deterministic, good distribution. *)
+  type t = { mutable state : int64 }
+
+  let make seed = { state = Int64.of_int (seed * 2654435761 + 1) }
+
+  let next t =
+    t.state <- Int64.add t.state 0x9E3779B97F4A7C15L;
+    let z = t.state in
+    let z = Int64.mul (Int64.logxor z (Int64.shift_right_logical z 30)) 0xBF58476D1CE4E5B9L in
+    let z = Int64.mul (Int64.logxor z (Int64.shift_right_logical z 27)) 0x94D049BB133111EBL in
+    Int64.logxor z (Int64.shift_right_logical z 31)
+
+  let float t bound =
+    let bits = Int64.shift_right_logical (next t) 11 in
+    (* 53 random bits -> [0,1) *)
+    Int64.to_float bits /. 9007199254740992.0 *. bound
+
+  let int t bound =
+    if bound <= 0 then invalid_arg "Rng.int: non-positive bound";
+    Int64.to_int (Int64.rem (Int64.shift_right_logical (next t) 1) (Int64.of_int bound))
+end
+
+let float_matrix rng m n =
+  Array.init m (fun _ -> Array.init n (fun _ -> Rng.float rng 1.0))
+
+let float_vector rng n = Array.init n (fun _ -> Rng.float rng 1.0)
+
+let clustered_points rng ~n ~d ~k =
+  let centers =
+    Array.init k (fun _ -> Array.init d (fun _ -> Rng.float rng 10.0))
+  in
+  Array.init n (fun _ ->
+      let c = centers.(Rng.int rng k) in
+      Array.init d (fun j -> c.(j) +. Rng.float rng 0.5))
+
+let labels rng n = Array.init n (fun _ -> Rng.int rng 2)
+
+type lineitem = {
+  shipdate : int array;
+  discount : float array;
+  quantity : float array;
+  extendedprice : float array;
+}
+
+let lineitems rng n =
+  (* Ship dates over 1992-1998; Q6 keeps 1994 with discount in
+     [0.05, 0.07] and quantity < 24, which is a small fraction of rows. *)
+  let shipdate =
+    Array.init n (fun _ ->
+        let year = 1992 + Rng.int rng 7 in
+        let month = 1 + Rng.int rng 12 in
+        let day = 1 + Rng.int rng 28 in
+        (year * 10000) + (month * 100) + day)
+  in
+  let discount =
+    Array.init n (fun _ -> float_of_int (Rng.int rng 11) /. 100.0)
+  in
+  let quantity = Array.init n (fun _ -> 1.0 +. Rng.float rng 49.0) in
+  let extendedprice = Array.init n (fun _ -> 900.0 +. Rng.float rng 10000.0) in
+  { shipdate; discount; quantity; extendedprice }
+
+let q6_pred li idx =
+  li.shipdate.(idx) >= 19940101
+  && li.shipdate.(idx) < 19950101
+  && li.discount.(idx) >= 0.05
+  && li.discount.(idx) <= 0.07
+  && li.quantity.(idx) < 24.0
+
+let q6_selectivity li =
+  let n = Array.length li.shipdate in
+  let hits = ref 0 in
+  for idx = 0 to n - 1 do
+    if q6_pred li idx then incr hits
+  done;
+  float_of_int !hits /. float_of_int n
+
+let value_of_matrix m =
+  Value.Arr
+    (Ndarray.init
+       [ Array.length m; Array.length m.(0) ]
+       (function [ r; c ] -> Value.F m.(r).(c) | _ -> assert false))
+
+let value_of_vector v =
+  Value.Arr (Ndarray.init [ Array.length v ] (function
+    | [ r ] -> Value.F v.(r)
+    | _ -> assert false))
+
+let value_of_int_vector v =
+  Value.Arr (Ndarray.init [ Array.length v ] (function
+    | [ r ] -> Value.I v.(r)
+    | _ -> assert false))

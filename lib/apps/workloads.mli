@@ -1,0 +1,49 @@
+(** Deterministic synthetic workload generation.
+
+    The paper's inputs (dense matrices, clustered points, a TPC-H lineitem
+    table) are regenerated synthetically with a self-contained PRNG so
+    every run and every machine sees identical data. *)
+
+module Rng : sig
+  type t
+
+  val make : int -> t
+  (** Seeded generator; the same seed always yields the same stream. *)
+
+  val float : t -> float -> float
+  (** [float t bound] is uniform in [[0, bound)]. *)
+
+  val int : t -> int -> int
+  (** [int t bound] is uniform in [[0, bound)]. *)
+end
+
+val float_matrix : Rng.t -> int -> int -> float array array
+(** Uniform values in [[0, 1)]. *)
+
+val float_vector : Rng.t -> int -> float array
+
+val clustered_points : Rng.t -> n:int -> d:int -> k:int -> float array array
+(** Points drawn around [k] well-separated cluster centers — the k-means
+    and GDA workload. *)
+
+val labels : Rng.t -> int -> int array
+(** Binary class labels. *)
+
+type lineitem = {
+  shipdate : int array;  (** yyyymmdd encoded *)
+  discount : float array;
+  quantity : float array;
+  extendedprice : float array;
+}
+
+val lineitems : Rng.t -> int -> lineitem
+(** TPC-H Q6-relevant columns with Q6-realistic selectivity (~2%%). *)
+
+val q6_selectivity : lineitem -> float
+(** Fraction of rows matching the Q6 predicate (for sanity checks). *)
+
+(** {1 Conversions to interpreter values} *)
+
+val value_of_matrix : float array array -> Value.t
+val value_of_vector : float array -> Value.t
+val value_of_int_vector : int array -> Value.t

@@ -1,0 +1,47 @@
+(** Parametric area model of a hardware design, standing in for the
+    Altera synthesis reports of Section 6.1.
+
+    Costs are charged per template instance:
+    - pipes: datapath operators scaled by the parallelism factor, plus
+      pipeline registers;
+    - memories: M20K-equivalent block RAM from depth x width (doubled for
+      double buffers, at least one block per bank), flip-flops for
+      registers, tag/match logic for caches and CAMs;
+    - tile load/store units and each direct DRAM access stream: command
+      generators with several internal buffers — the reason the paper's
+      untiled k-means baseline uses {e more} on-chip memory than the tiled
+      design (Section 6.2);
+    - controllers: counters and handshaking, a little more for
+      metapipeline double-buffer control.
+
+    Absolute numbers are indicative; Fig. 7 uses the {e ratios} between
+    configurations, which depend only on instance counts and buffer
+    sizes. *)
+
+type t = {
+  logic : float;  (** ALM-equivalent logic *)
+  ff : float;  (** flip-flops *)
+  bram : float;  (** M20K-equivalent memory blocks *)
+  dsp : float;
+}
+
+val zero : t
+val add : t -> t -> t
+val of_design : Hw.design -> t
+
+val ratio : t -> t -> t
+(** [ratio a b] divides componentwise ([a]/[b]), for Fig. 7's
+    relative-resource bars. *)
+
+val stratix_v : t
+(** Capacity of the evaluation FPGA (Stratix V GS D8-class): ALM-
+    equivalent logic, flip-flops, M20K blocks, DSPs. *)
+
+val utilization : t -> t
+(** Componentwise fraction of {!stratix_v} (1.0 = full). *)
+
+val fits : t -> bool
+(** Every component within the chip. *)
+
+val pp : Format.formatter -> t -> unit
+val pp_utilization : Format.formatter -> t -> unit

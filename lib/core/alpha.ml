@@ -1,0 +1,149 @@
+open Ir
+
+(* Each environment maps a bound symbol to its binding depth; two
+   expressions are alpha-equal when bound symbols map to the same depth and
+   free symbols are identical. *)
+type env = { depth : int; map : int Sym.Map.t }
+
+let empty = { depth = 0; map = Sym.Map.empty }
+let bind env s = { depth = env.depth + 1; map = Sym.Map.add s env.depth env.map }
+
+let var_eq ea eb a b =
+  match (Sym.Map.find_opt a ea.map, Sym.Map.find_opt b eb.map) with
+  | Some da, Some db -> da = db
+  | None, None -> Sym.equal a b
+  | _ -> false
+
+let rec eq ea eb x y =
+  match (x, y) with
+  | Var a, Var b -> var_eq ea eb a b
+  | Cf a, Cf b -> a = b
+  | Ci a, Ci b -> a = b
+  | Cb a, Cb b -> a = b
+  | EmptyArr a, EmptyArr b -> Ty.equal a b
+  | Tup xs, Tup ys | ArrLit xs, ArrLit ys -> eq_list ea eb xs ys
+  | Proj (x1, i), Proj (y1, j) -> i = j && eq ea eb x1 y1
+  | Prim (p, xs), Prim (q, ys) -> p = q && eq_list ea eb xs ys
+  | Let (sa, x1, x2), Let (sb, y1, y2) ->
+      eq ea eb x1 y1 && eq (bind ea sa) (bind eb sb) x2 y2
+  | If (c1, t1, f1), If (c2, t2, f2) ->
+      eq ea eb c1 c2 && eq ea eb t1 t2 && eq ea eb f1 f2
+  | Len (x1, i), Len (y1, j) -> i = j && eq ea eb x1 y1
+  | Read (x1, xs), Read (y1, ys) -> eq ea eb x1 y1 && eq_list ea eb xs ys
+  | Slice (x1, xs), Slice (y1, ys) ->
+      eq ea eb x1 y1
+      && List.length xs = List.length ys
+      && List.for_all2
+           (fun sa sb ->
+             match (sa, sb) with
+             | SAll, SAll -> true
+             | SFix a, SFix b -> eq ea eb a b
+             | _ -> false)
+           xs ys
+  | Copy ca, Copy cb ->
+      eq ea eb ca.csrc cb.csrc
+      && ca.creuse = cb.creuse
+      && List.length ca.cdims = List.length cb.cdims
+      && List.for_all2
+           (fun da db ->
+             match (da, db) with
+             | Call, Call -> true
+             | Cfix a, Cfix b -> eq ea eb a b
+             | Coffset a, Coffset b ->
+                 eq ea eb a.off b.off && eq ea eb a.len b.len
+                 && a.max_len = b.max_len
+             | _ -> false)
+           ca.cdims cb.cdims
+  | Zeros (ta, xs), Zeros (tb, ys) -> Ty.equal ta tb && eq_list ea eb xs ys
+  | Map ma, Map mb -> (
+      match eq_doms_bind ea eb ma.mdims ma.midxs mb.mdims mb.midxs with
+      | Some (ea', eb') -> eq ea' eb' ma.mbody mb.mbody
+      | None -> false)
+  | Fold fa, Fold fb -> (
+      match eq_doms_bind ea eb fa.fdims fa.fidxs fb.fdims fb.fidxs with
+      | Some (ea', eb') ->
+          eq ea eb fa.finit fb.finit
+          && eq (bind ea' fa.facc) (bind eb' fb.facc) fa.fupd fb.fupd
+          && eq_comb ea eb fa.fcomb fb.fcomb
+      | None -> false)
+  | MultiFold a, MultiFold b ->
+      (match eq_doms_bind ea eb a.odims a.oidxs b.odims b.oidxs with
+      | None -> false
+      | Some (ea', eb') ->
+          eq ea eb a.oinit b.oinit
+          && List.length a.olets = List.length b.olets
+          && List.length a.oouts = List.length b.oouts
+          &&
+          let rec lets ea' eb' la lb =
+            match (la, lb) with
+            | [], [] ->
+                List.for_all2
+                  (fun oa ob ->
+                    eq_list ea' eb' oa.orange ob.orange
+                    && List.length oa.oregion = List.length ob.oregion
+                    && List.for_all2
+                         (fun (o1, l1, b1) (o2, l2, b2) ->
+                           eq ea' eb' o1 o2 && eq ea' eb' l1 l2 && b1 = b2)
+                         oa.oregion ob.oregion
+                    && eq (bind ea' oa.oacc) (bind eb' ob.oacc) oa.oupd ob.oupd)
+                  a.oouts b.oouts
+            | (sa, xa) :: ra, (sb, xb) :: rb ->
+                eq ea' eb' xa xb && lets (bind ea' sa) (bind eb' sb) ra rb
+            | _ -> false
+          in
+          lets ea' eb' a.olets b.olets)
+      && (match (a.ocomb, b.ocomb) with
+         | None, None -> true
+         | Some ca, Some cb -> eq_comb ea eb ca cb
+         | _ -> false)
+  | FlatMap a, FlatMap b ->
+      eq_dom ea eb a.fmdim b.fmdim
+      && eq (bind ea a.fmidx) (bind eb b.fmidx) a.fmbody b.fmbody
+  | GroupByFold a, GroupByFold b ->
+      (match eq_doms_bind ea eb a.gdims a.gidxs b.gdims b.gidxs with
+      | None -> false
+      | Some (ea', eb') ->
+          eq ea eb a.ginit b.ginit
+          && List.length a.glets = List.length b.glets
+          &&
+          let rec lets ea' eb' la lb =
+            match (la, lb) with
+            | [], [] ->
+                eq ea' eb' a.gkey b.gkey
+                && eq (bind ea' a.gacc) (bind eb' b.gacc) a.gupd b.gupd
+            | (sa, xa) :: ra, (sb, xb) :: rb ->
+                eq ea' eb' xa xb && lets (bind ea' sa) (bind eb' sb) ra rb
+            | _ -> false
+          in
+          lets ea' eb' a.glets b.glets)
+      && eq_comb ea eb a.gcomb b.gcomb
+  | _ -> false
+
+and eq_list ea eb xs ys =
+  List.length xs = List.length ys && List.for_all2 (eq ea eb) xs ys
+
+and eq_dom ea eb da db =
+  match (da, db) with
+  | Dfull a, Dfull b -> eq ea eb a b
+  | Dtiles a, Dtiles b -> a.tile = b.tile && eq ea eb a.total b.total
+  | Dtail a, Dtail b ->
+      a.tile = b.tile && eq ea eb a.total b.total
+      && var_eq ea eb a.outer b.outer
+  | _ -> false
+
+and eq_doms_bind ea eb das ia dbs ib =
+  (* domains are scoped progressively, like the validator: dom_i may
+     reference idx_j for j < i (flattened tiled forms do) — so bind each
+     index before comparing the next domain *)
+  match (das, ia, dbs, ib) with
+  | [], [], [], [] -> Some (ea, eb)
+  | da :: ras, sa :: rsa, db :: rbs, sb :: rsb ->
+      if eq_dom ea eb da db then
+        eq_doms_bind (bind ea sa) (bind eb sb) ras rsa rbs rsb
+      else None
+  | _ -> None
+
+and eq_comb ea eb ca cb =
+  eq (bind (bind ea ca.ca) ca.cb) (bind (bind eb cb.ca) cb.cb) ca.cbody cb.cbody
+
+let equal x y = eq empty empty x y

@@ -1,0 +1,5 @@
+(** Alpha-equivalence of IR expressions: structural equality up to
+    consistent renaming of bound symbols.  Needed by CSE because every
+    transformation-created duplicate carries freshly renamed binders. *)
+
+val equal : Ir.exp -> Ir.exp -> bool

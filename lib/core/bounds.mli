@@ -1,0 +1,35 @@
+(** Static bounds verification for input accesses.
+
+    Proves, symbolically, that every read of a program input and every
+    tile copy stays inside the input's declared shape — for all values of
+    the size parameters.  This is the safety side of the tiling story:
+    strip mining introduces index arithmetic like [ii*b + i] with
+    [i < min(b, n - ii*b)], and this pass discharges exactly those
+    obligations with interval analysis plus two relational rules:
+
+    - a [Dtail] index and its tile index bound each other:
+      [outer*tile + inner <= total - 1];
+    - [min(a, b)] is bounded above by each operand.
+
+    Accesses it cannot prove are reported as warnings (data-dependent
+    indices like k-means' [minDistIndex] are inherently unprovable here —
+    the hardware serves them through a cache; they are reported as
+    [`Unknown], not as violations). *)
+
+type verdict =
+  | Safe  (** proven in range for all size-parameter values *)
+  | Unknown of string  (** not provable by this analysis (e.g. data-dependent) *)
+  | Violation of string  (** provably out of range for some sizes *)
+
+type finding = {
+  array : Sym.t;  (** the input accessed *)
+  what : string;  (** rendering of the access *)
+  verdict : verdict;
+}
+
+val check_program : Ir.program -> finding list
+(** One finding per input read / tile copy in the program body. *)
+
+val violations : finding list -> finding list
+val unproven : finding list -> finding list
+val pp_finding : Format.formatter -> finding -> unit

@@ -1,0 +1,66 @@
+open Ir
+
+(* One motion step: for a pattern node, peel off leading Let-bindings of
+   its body (or invariant shared bindings) that do not mention the
+   pattern's binders, and rebind them around the pattern.  [Rewrite.bottom_up]
+   applies this at every node; repeating until fixpoint floats bindings
+   through several levels. *)
+
+let invariant binders e = Sym.Set.is_empty (Sym.Set.inter (Ir.free_vars e) binders)
+
+(* split leading Lets of [body] into (hoistable, residual body) *)
+let peel binders body =
+  let rec go acc = function
+    | Let (s, e1, e2) when invariant binders e1 -> go ((s, e1) :: acc) e2
+    | e -> (List.rev acc, e)
+  in
+  go [] body
+
+let rebind lets e =
+  List.fold_right (fun (s, e1) acc -> Let (s, e1, acc)) lets e
+
+let binders_of_doms idxs = Sym.Set.of_list idxs
+
+let step e =
+  match e with
+  | Map m -> (
+      match peel (binders_of_doms m.midxs) m.mbody with
+      | [], _ -> e
+      | lets, body -> rebind lets (Map { m with mbody = body }))
+  | Fold f -> (
+      let binders = Sym.Set.add f.facc (binders_of_doms f.fidxs) in
+      match peel binders f.fupd with
+      | [], _ -> e
+      | lets, body -> rebind lets (Fold { f with fupd = body }))
+  | FlatMap fm -> (
+      match peel (Sym.Set.singleton fm.fmidx) fm.fmbody with
+      | [], _ -> e
+      | lets, body -> rebind lets (FlatMap { fm with fmbody = body }))
+  | MultiFold mf ->
+      let binders = binders_of_doms mf.oidxs in
+      (* hoist invariant shared bindings (later bindings may reference
+         earlier ones, so only a prefix whose members are all invariant and
+         mutually consistent hoists) *)
+      let rec split_prefix acc = function
+        | (s, e1) :: rest when invariant binders e1 -> split_prefix ((s, e1) :: acc) rest
+        | rest -> (List.rev acc, rest)
+      in
+      let hoisted, kept = split_prefix [] mf.olets in
+      if hoisted = [] then e
+      else rebind hoisted (MultiFold { mf with olets = kept })
+  | GroupByFold g ->
+      let binders = binders_of_doms g.gidxs in
+      let rec split_prefix acc = function
+        | (s, e1) :: rest when invariant binders e1 -> split_prefix ((s, e1) :: acc) rest
+        | rest -> (List.rev acc, rest)
+      in
+      let hoisted, kept = split_prefix [] g.glets in
+      if hoisted = [] then e
+      else rebind hoisted (GroupByFold { g with glets = kept })
+  | e -> e
+
+let rec exp e =
+  let e' = Rewrite.bottom_up step e in
+  if e' = e then e else exp e'
+
+let program (p : program) = { p with body = exp p.body }

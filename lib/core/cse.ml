@@ -1,0 +1,82 @@
+open Ir
+
+(* Available bindings: expressions (already CSE'd) with the symbol that
+   holds them.  Scoped lexically: entries are only valid while their free
+   variables stay bound, which holds because we extend the list only while
+   descending and index it by position. *)
+type avail = (exp * Sym.t) list
+
+let trivial = function
+  | Var _ | Ci _ | Cf _ | Cb _ -> true
+  | _ -> false
+
+let lookup avail e =
+  if trivial e then None
+  else
+    List.find_opt (fun (e', _) -> Alpha.equal e e') avail |> Option.map snd
+
+let rec go (avail : avail) e =
+  match e with
+  | Let (s, e1, e2) -> (
+      let e1' = go avail e1 in
+      match lookup avail e1' with
+      | Some s' -> go avail (Ir.subst (Sym.Map.singleton s (Var s')) e2)
+      | None -> Let (s, e1', go ((e1', s) :: avail) e2))
+  | MultiFold mf ->
+      (* rebuild the shared bindings while collecting a substitution for
+         dropped duplicates, then apply it to the outputs *)
+      let subs = ref Sym.Map.empty in
+      let avail', olets' =
+        List.fold_left
+          (fun (av, acc) (s, e1) ->
+            let e1' = go av (Ir.subst !subs e1) in
+            match lookup av e1' with
+            | Some s' ->
+                subs := Sym.Map.add s (Var s') !subs;
+                (av, acc)
+            | None -> ((e1', s) :: av, (s, e1') :: acc))
+          (avail, []) mf.olets
+      in
+      let olets' = List.rev olets' in
+      MultiFold
+        { mf with
+          oinit = go avail mf.oinit;
+          olets = olets';
+          oouts =
+            List.map
+              (fun out ->
+                { out with
+                  oregion =
+                    List.map
+                      (fun (o, l, b) ->
+                        (go avail' (Ir.subst !subs o), go avail' (Ir.subst !subs l), b))
+                      out.oregion;
+                  oupd = go avail' (Ir.subst !subs out.oupd) })
+              mf.oouts;
+          ocomb =
+            Option.map (fun c -> { c with cbody = go avail c.cbody }) mf.ocomb }
+  | GroupByFold g ->
+      let subs = ref Sym.Map.empty in
+      let avail', glets' =
+        List.fold_left
+          (fun (av, acc) (s, e1) ->
+            let e1' = go av (Ir.subst !subs e1) in
+            match lookup av e1' with
+            | Some s' ->
+                subs := Sym.Map.add s (Var s') !subs;
+                (av, acc)
+            | None -> ((e1', s) :: av, (s, e1') :: acc))
+          (avail, []) g.glets
+      in
+      let glets' = List.rev glets' in
+      GroupByFold
+        { g with
+          ginit = go avail g.ginit;
+          glets = glets';
+          gkey = go avail' (Ir.subst !subs g.gkey);
+          gupd = go avail' (Ir.subst !subs g.gupd);
+          gcomb = { g.gcomb with cbody = go avail g.gcomb.cbody } }
+  | _ -> Rewrite.map_children (go avail) e
+
+let exp e = go [] e
+let program (p : program) = { p with body = exp p.body }

@@ -1,0 +1,10 @@
+(** Common subexpression elimination over Let-bound values.
+
+    Scans binding chains ([Let]s and the shared bindings of MultiFold /
+    GroupByFold): a binding alpha-equal to one already in scope is dropped
+    and its uses redirected.  The IR is pure, so this is always sound.
+    Duplicate tile copies created independently at the same nesting level
+    collapse to one buffer. *)
+
+val exp : Ir.exp -> Ir.exp
+val program : Ir.program -> Ir.program

@@ -1,0 +1,67 @@
+let op_latency = function
+  | Ir.Add | Ir.Sub | Ir.Neg -> 8
+  | Ir.Mul -> 6
+  | Ir.Div -> 28
+  | Ir.Sqrt -> 16
+  | Ir.Exp | Ir.Log -> 20
+  | Ir.Min | Ir.Max -> 2
+  | Ir.Lt | Ir.Le | Ir.Gt | Ir.Ge | Ir.Eq | Ir.Ne -> 1
+  | Ir.And | Ir.Or | Ir.Not | Ir.Abs | Ir.Mod -> 1
+  | Ir.ToFloat | Ir.ToInt -> 2
+
+(* Critical path over the expression viewed as a dataflow DAG.  Binders
+   are handled with an environment carrying the depth of the bound
+   value. *)
+let rec path env (e : Ir.exp) =
+  let p x = path env x in
+  let max_list l = List.fold_left Int.max 0 l in
+  match e with
+  | Ir.Var s -> (match Sym.Map.find_opt s env with Some d -> d | None -> 0)
+  | Ir.Cf _ | Ir.Ci _ | Ir.Cb _ | Ir.EmptyArr _ -> 0
+  | Ir.Tup es | Ir.ArrLit es -> max_list (List.map p es)
+  | Ir.Proj (e1, _) -> p e1
+  | Ir.Prim (op, args) -> op_latency op + max_list (List.map p args)
+  | Ir.Let (s, e1, e2) -> path (Sym.Map.add s (p e1) env) e2
+  | Ir.If (c, t, f) -> 1 + max_list [ p c; p t; p f ]
+  | Ir.Len (e1, _) -> p e1
+  | Ir.Read (a, idxs) -> 1 + max_list (p a :: List.map p idxs)
+  | Ir.Slice (a, _) -> p a
+  | Ir.Copy { csrc; _ } -> p csrc
+  | Ir.Zeros _ -> 0
+  | Ir.Map m -> path (bind env m.Ir.midxs) m.Ir.mbody
+  | Ir.Fold f ->
+      (* fill: the body once, plus a log-depth combine tree *)
+      let inner = path (Sym.Map.add f.Ir.facc 0 (bind env f.Ir.fidxs)) f.Ir.fupd in
+      inner + tree_term
+  | Ir.MultiFold mf ->
+      let env_i = bind env mf.Ir.oidxs in
+      let env_i =
+        List.fold_left
+          (fun acc (s, e1) -> Sym.Map.add s (path acc e1) acc)
+          env_i mf.Ir.olets
+      in
+      max_list
+        (List.map
+           (fun out -> path (Sym.Map.add out.Ir.oacc 0 env_i) out.Ir.oupd)
+           mf.Ir.oouts)
+      + tree_term
+  | Ir.FlatMap fm -> path (bind env [ fm.Ir.fmidx ]) fm.Ir.fmbody
+  | Ir.GroupByFold g ->
+      let env_i = bind env g.Ir.gidxs in
+      let env_i =
+        List.fold_left
+          (fun acc (s, e1) -> Sym.Map.add s (path acc e1) acc)
+          env_i g.Ir.glets
+      in
+      Int.max (path env_i g.Ir.gkey)
+        (path (Sym.Map.add g.Ir.gacc 0 env_i) g.Ir.gupd)
+      +
+      (* associative lookup/update *)
+      2
+
+and tree_term = (* combine tree for a 16-wide leaf level: log2(16) fadds *) 4 * 8
+
+and bind env idxs =
+  List.fold_left (fun m s -> Sym.Map.add s 0 m) env idxs
+
+let of_exp e = Int.max 4 (path Sym.Map.empty e)

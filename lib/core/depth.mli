@@ -1,0 +1,15 @@
+(** Pipeline depth estimation: the critical path of a datapath expression
+    in cycles, using per-operator latencies representative of
+    single-precision floating point on a Stratix-V-class FPGA.  MaxJ
+    inserts pipeline registers automatically (Section 5); this determines
+    how many stages that creates, i.e. a pipe's fill latency. *)
+
+val op_latency : Ir.prim -> int
+(** fadd/fsub 8, fmul 6, fdiv 28, sqrt 16, exp/log 20, comparisons and
+    integer ops 1, conversions 2. *)
+
+val of_exp : Ir.exp -> int
+(** Critical path in cycles.  Reads cost one cycle (registered BRAM
+    output); nested patterns contribute the depth of their bodies plus a
+    tree-combine term [ceil(log2 par)] approximated with the static
+    extent; [Let]-bound values are on the path of their uses. *)

@@ -1,0 +1,70 @@
+let mem_color = function
+  | Hw.Buffer -> "lightyellow"
+  | Hw.Double_buffer -> "khaki"
+  | Hw.Cache -> "lightsalmon"
+  | Hw.Fifo -> "lightcyan"
+  | Hw.Cam -> "plum"
+  | Hw.Reg -> "white"
+
+let esc s = String.map (fun c -> if c = '"' then '\'' else c) s
+
+let emit (d : Hw.design) =
+  let buf = Buffer.create 4096 in
+  let line fmt = Printf.ksprintf (fun s -> Buffer.add_string buf (s ^ "\n")) fmt in
+  line "digraph %s {" (esc d.Hw.design_name);
+  line "  rankdir=TB; node [fontname=\"Helvetica\", fontsize=10];";
+  (* memories *)
+  List.iter
+    (fun m ->
+      line "  \"%s\" [shape=box3d, style=filled, fillcolor=%s, label=\"%s\\n%s %dx%db\"];"
+        (esc m.Hw.mem_name) (mem_color m.Hw.kind) (esc m.Hw.mem_name)
+        (Hw_pp.mem_kind_name m.Hw.kind) m.Hw.depth m.Hw.width_bits)
+    d.Hw.mems;
+  (* controllers as clusters; pipes/loads/stores as nodes *)
+  let counter = ref 0 in
+  let rec go indent c =
+    let pad = String.make indent ' ' in
+    match c with
+    | Hw.Seq { name; children } | Hw.Par { name; children } ->
+        incr counter;
+        line "%ssubgraph cluster_%d {" pad !counter;
+        line "%s  label=\"%s (%s)\"; style=dashed;" pad (esc name)
+          (match c with Hw.Par _ -> "parallel" | _ -> "sequential");
+        List.iter (go (indent + 2)) children;
+        line "%s}" pad
+    | Hw.Loop { name; meta; stages; trips } ->
+        incr counter;
+        line "%ssubgraph cluster_%d {" pad !counter;
+        line "%s  label=\"%s (%s, trips=%s)\"; style=%s; color=%s;" pad
+          (esc name)
+          (if meta then "metapipeline" else "loop")
+          (esc
+             (String.concat "x"
+                (List.map (fun t -> Format.asprintf "%a" Hw.pp_trip t) trips)))
+          (if meta then "bold" else "solid")
+          (if meta then "blue" else "black");
+        List.iter (go (indent + 2)) stages;
+        line "%s}" pad
+    | Hw.Pipe { name; template; uses; defines; _ } ->
+        line "%s\"%s\" [shape=component, label=\"%s\\n[%s]\"];" pad (esc name)
+          (esc name) (Hw_pp.template_name template);
+        List.iter (fun m -> line "%s\"%s\" -> \"%s\";" pad (esc m) (esc name)) uses;
+        List.iter (fun m -> line "%s\"%s\" -> \"%s\";" pad (esc name) (esc m)) defines
+    | Hw.Tile_load { name; mem; array; _ } ->
+        line "%s\"%s\" [shape=cds, style=filled, fillcolor=lightblue, label=\"%s\"];"
+          pad (esc name) (esc name);
+        line "%s\"dram_%s\" [shape=cylinder, label=\"DRAM %s\"];" pad (esc array)
+          (esc array);
+        line "%s\"dram_%s\" -> \"%s\" -> \"%s\";" pad (esc array) (esc name) (esc mem)
+    | Hw.Tile_store { name; mem; array; _ } ->
+        line "%s\"%s\" [shape=cds, style=filled, fillcolor=lightpink, label=\"%s\"];"
+          pad (esc name) (esc name);
+        line "%s\"dram_%s\" [shape=cylinder, label=\"DRAM %s\"];" pad (esc array)
+          (esc array);
+        (match mem with
+        | Some m -> line "%s\"%s\" -> \"%s\" -> \"dram_%s\";" pad (esc m) (esc name) (esc array)
+        | None -> line "%s\"%s\" -> \"dram_%s\";" pad (esc name) (esc array))
+  in
+  go 2 d.Hw.top;
+  line "}";
+  Buffer.contents buf

@@ -1,0 +1,5 @@
+(** Graphviz rendering of a hardware design (the Fig. 6 block diagram):
+    controllers as nested clusters, memories as nodes, dataflow edges from
+    writers to readers. *)
+
+val emit : Hw.design -> string

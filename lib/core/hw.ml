@@ -1,0 +1,157 @@
+type mem_kind = Buffer | Double_buffer | Cache | Fifo | Cam | Reg
+
+type mem = {
+  mem_name : string;
+  kind : mem_kind;
+  width_bits : int;
+  depth : int;
+  banks : int;
+  mutable readers : int;
+  mutable writers : int;
+}
+
+type trip =
+  | Tconst of float
+  | Tsize of Sym.t
+  | Tceil_div of trip * int
+  | Tavg_tail of { total : trip; tile : int }
+  | Tmul of trip * trip
+  | Tscale of float * trip
+
+let trip_of_dom = function
+  | Ir.Dfull e ->
+      let rec of_exp = function
+        | Ir.Ci c -> Tconst (float_of_int c)
+        | Ir.Var s -> Tsize s
+        | Ir.Prim (Ir.Mul, [ a; b ]) -> Tmul (of_exp a, of_exp b)
+        | Ir.Prim (Ir.Add, [ a; Ir.Ci c ]) ->
+            (* additive constants on sizes barely matter for trips *)
+            ignore c;
+            of_exp a
+        | _ -> Tconst 1.0
+      in
+      of_exp e
+  | Ir.Dtiles { total; tile } -> (
+      match total with
+      | Ir.Var s -> Tceil_div (Tsize s, tile)
+      | Ir.Ci c -> Tconst (float_of_int ((c + tile - 1) / tile))
+      | _ -> Tconst 1.0)
+  | Ir.Dtail { total; tile; _ } -> (
+      match total with
+      | Ir.Var s -> Tavg_tail { total = Tsize s; tile }
+      | Ir.Ci c ->
+          let tiles = (c + tile - 1) / tile in
+          Tconst (float_of_int c /. float_of_int (Int.max 1 tiles))
+      | _ -> Tconst (float_of_int tile))
+
+let rec trip_eval sizes t =
+  match t with
+  | Tconst c -> c
+  | Tsize s -> (
+      match List.find_opt (fun (k, _) -> Sym.equal k s) sizes with
+      | Some (_, v) -> float_of_int v
+      | None -> invalid_arg ("Hw.trip_eval: missing size " ^ Sym.name s))
+  | Tceil_div (t1, b) -> Float.of_int
+      (int_of_float (ceil (trip_eval sizes t1 /. float_of_int b)))
+  | Tavg_tail { total; tile } ->
+      let tot = trip_eval sizes total in
+      let tiles = ceil (tot /. float_of_int tile) in
+      if tiles <= 0.0 then 0.0 else tot /. tiles
+  | Tmul (a, b) -> trip_eval sizes a *. trip_eval sizes b
+  | Tscale (f, t1) -> f *. trip_eval sizes t1
+
+let trip_product = function
+  | [] -> Tconst 1.0
+  | t :: rest -> List.fold_left (fun acc x -> Tmul (acc, x)) t rest
+
+let rec pp_trip fmt = function
+  | Tconst c ->
+      if Float.is_integer c then Format.fprintf fmt "%.0f" c
+      else Format.fprintf fmt "%g" c
+  | Tsize s -> Sym.pp fmt s
+  | Tceil_div (t, b) -> Format.fprintf fmt "ceil(%a/%d)" pp_trip t b
+  | Tavg_tail { total; tile } -> Format.fprintf fmt "avg(%a@%d)" pp_trip total tile
+  | Tmul (a, b) -> Format.fprintf fmt "%a*%a" pp_trip a pp_trip b
+  | Tscale (f, t) -> Format.fprintf fmt "%g*%a" f pp_trip t
+
+type dram_access = {
+  da_array : string;
+  da_path : (trip * bool) list;
+  da_contiguous : bool;
+  da_affine : bool;
+  da_row_words : trip;
+  da_kind : [ `Read | `Write | `Cached ];
+}
+
+type pipe_template = Vector | Tree | Fifo_write | Cam_update | Scalar_unit
+
+type op_counts = {
+  flops : int;
+  int_ops : int;
+  cmp_ops : int;
+  mem_reads : int;
+  mem_writes : int;
+}
+
+type ctrl =
+  | Seq of { name : string; children : ctrl list }
+  | Par of { name : string; children : ctrl list }
+  | Loop of { name : string; trips : trip list; meta : bool; stages : ctrl list }
+  | Pipe of {
+      name : string;
+      trips : trip list;
+      template : pipe_template;
+      par : int;
+      depth : int;
+      ii : int;
+      ops : op_counts;
+      body : Ir.exp option;
+      dram : dram_access list;
+      uses : string list;
+      defines : string list;
+    }
+  | Tile_load of {
+      name : string;
+      mem : string;
+      array : string;
+      words : trip;
+      path : (trip * bool) list;
+      reuse : int;
+    }
+  | Tile_store of {
+      name : string;
+      mem : string option;
+      array : string;
+      words : trip;
+      path : (trip * bool) list;
+    }
+
+type design = {
+  design_name : string;
+  mems : mem list;
+  top : ctrl;
+  par_factor : int;
+}
+
+let ctrl_name = function
+  | Seq { name; _ } | Par { name; _ } | Loop { name; _ } | Pipe { name; _ }
+  | Tile_load { name; _ } | Tile_store { name; _ } ->
+      name
+
+let children = function
+  | Seq { children; _ } | Par { children; _ } -> children
+  | Loop { stages; _ } -> stages
+  | Pipe _ | Tile_load _ | Tile_store _ -> []
+
+let rec iter_ctrls f c =
+  f c;
+  List.iter (iter_ctrls f) (children c)
+
+let rec fold_ctrls f acc c =
+  let acc = f acc c in
+  List.fold_left (fold_ctrls f) acc (children c)
+
+let find_mem d name =
+  match List.find_opt (fun m -> m.mem_name = name) d.mems with
+  | Some m -> m
+  | None -> raise Not_found

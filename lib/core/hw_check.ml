@@ -1,0 +1,125 @@
+type finding = {
+  where : string;
+  problem : string;
+}
+
+let pp_finding fmt f = Format.fprintf fmt "%s: %s" f.where f.problem
+
+(* memory names referenced by a controller, split into write-side and
+   read-side references *)
+let mem_refs c =
+  match c with
+  | Hw.Pipe { uses; defines; _ } -> (defines, uses)
+  | Hw.Tile_load { mem; _ } -> ([ mem ], [])
+  | Hw.Tile_store { mem = Some m; _ } -> ([], [ m ])
+  | _ -> ([], [])
+
+let check (d : Hw.design) =
+  let findings = ref [] in
+  let bad where fmt =
+    Format.kasprintf (fun problem -> findings := { where; problem } :: !findings)
+      fmt
+  in
+  let mem_names = List.map (fun m -> m.Hw.mem_name) d.Hw.mems in
+  (* memory table sanity *)
+  let rec dup = function
+    | [] -> None
+    | x :: rest -> if List.mem x rest then Some x else dup rest
+  in
+  (match dup mem_names with
+  | Some n -> bad n "duplicate memory name"
+  | None -> ());
+  List.iter
+    (fun m ->
+      if m.Hw.width_bits <= 0 then bad m.Hw.mem_name "non-positive width";
+      if m.Hw.depth <= 0 then bad m.Hw.mem_name "non-positive depth";
+      if m.Hw.banks <= 0 then bad m.Hw.mem_name "non-positive banks")
+    d.Hw.mems;
+  (* controller names unique *)
+  let ctrl_names =
+    List.rev (Hw.fold_ctrls (fun acc c -> Hw.ctrl_name c :: acc) [] d.Hw.top)
+  in
+  (match dup ctrl_names with
+  | Some n -> bad n "duplicate controller name"
+  | None -> ());
+  (* reference map, tracking whether each reference sits under a
+     metapipelined loop *)
+  let written = Hashtbl.create 16 and read = Hashtbl.create 16 in
+  let under_meta = Hashtbl.create 16 in
+  let rec walk meta c =
+    let w, r = mem_refs c in
+    List.iter
+      (fun n ->
+        Hashtbl.replace written n ();
+        if meta then Hashtbl.replace under_meta n ())
+      w;
+    List.iter
+      (fun n ->
+        Hashtbl.replace read n ();
+        if meta then Hashtbl.replace under_meta n ())
+      r;
+    let meta' =
+      match c with Hw.Loop { meta = m; _ } -> meta || m | _ -> meta
+    in
+    List.iter (walk meta') (Hw.children c)
+  in
+  walk false d.Hw.top;
+  let referenced n = Hashtbl.mem written n || Hashtbl.mem read n in
+  (* dangling references *)
+  Hashtbl.iter
+    (fun n () ->
+      if not (List.mem n mem_names) then bad n "written but not declared")
+    written;
+  Hashtbl.iter
+    (fun n () ->
+      if not (List.mem n mem_names) then bad n "read but not declared")
+    read;
+  (* declared but unused; write-only / read-only anomalies *)
+  List.iter
+    (fun m ->
+      let n = m.Hw.mem_name in
+      if not (referenced n) then bad n "declared but never referenced"
+      else begin
+        (* caches are demand-filled from DRAM, not by a controller *)
+        if (not (Hashtbl.mem written n)) && m.Hw.kind <> Hw.Cache then
+          bad n "read but never written (no producer)";
+        if not (Hashtbl.mem read n) then bad n "written but never read";
+        match m.Hw.kind with
+        | Hw.Double_buffer ->
+            if not (Hashtbl.mem under_meta n) then
+              bad n "double buffer entirely outside metapipelines"
+        | Hw.Fifo ->
+            if not (Hashtbl.mem written n && Hashtbl.mem read n) then
+              bad n "FIFO must have both a producer and a consumer"
+        | _ -> ()
+      end)
+    d.Hw.mems;
+  (* controller-local invariants *)
+  Hw.iter_ctrls
+    (fun c ->
+      match c with
+      | Hw.Pipe { name; par; ii; depth; trips; template; _ } ->
+          if par < 1 then bad name "par < 1";
+          if ii < 1 then bad name "ii < 1";
+          if depth < 0 then bad name "negative depth";
+          (* a scalar unit legitimately runs once with no loop dims *)
+          if trips = [] && template <> Hw.Scalar_unit then
+            bad name "pipe with no iteration space"
+      | Hw.Loop { name; trips; stages; _ } ->
+          if trips = [] then bad name "loop with no trips";
+          if stages = [] then bad name "loop with no stages"
+      | Hw.Seq { name; children } | Hw.Par { name; children } ->
+          if children = [] then bad name "controller with no children"
+      | Hw.Tile_load _ | Hw.Tile_store _ -> ())
+    d.Hw.top;
+  List.rev !findings
+
+let check_exn d =
+  match check d with
+  | [] -> ()
+  | fs ->
+      failwith
+        (String.concat "; "
+           (List.map
+              (fun f -> Printf.sprintf "%s: %s" f.where f.problem)
+              fs))

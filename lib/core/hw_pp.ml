@@ -1,0 +1,77 @@
+let mem_kind_name = function
+  | Hw.Buffer -> "buffer"
+  | Hw.Double_buffer -> "double-buffer"
+  | Hw.Cache -> "cache"
+  | Hw.Fifo -> "fifo"
+  | Hw.Cam -> "cam"
+  | Hw.Reg -> "reg"
+
+let template_name = function
+  | Hw.Vector -> "vector"
+  | Hw.Tree -> "reduce-tree"
+  | Hw.Fifo_write -> "fifo-write"
+  | Hw.Cam_update -> "cam-update"
+  | Hw.Scalar_unit -> "scalar"
+
+let pp_trips fmt trips =
+  Format.fprintf fmt "(%a)"
+    (Format.pp_print_list
+       ~pp_sep:(fun f () -> Format.fprintf f ", ")
+       Hw.pp_trip)
+    trips
+
+let rec pp_ctrl indent fmt c =
+  let pad = String.make indent ' ' in
+  match c with
+  | Hw.Seq { name; children } ->
+      Format.fprintf fmt "%sSequential %s@." pad name;
+      List.iter (pp_ctrl (indent + 2) fmt) children
+  | Hw.Par { name; children } ->
+      Format.fprintf fmt "%sParallel %s@." pad name;
+      List.iter (pp_ctrl (indent + 2) fmt) children
+  | Hw.Loop { name; trips; meta; stages } ->
+      Format.fprintf fmt "%s%s %s %a@." pad
+        (if meta then "Metapipeline" else "Loop")
+        name pp_trips trips;
+      List.iter (pp_ctrl (indent + 2) fmt) stages
+  | Hw.Pipe { name; trips; template; par; depth; ii; ops; dram; uses; defines; _ }
+    ->
+      Format.fprintf fmt
+        "%sPipe %s [%s] %a par=%d depth=%d ii=%d flops=%d cmps=%d@." pad name
+        (template_name template) pp_trips trips par depth ii ops.Hw.flops
+        ops.Hw.cmp_ops;
+      if uses <> [] then
+        Format.fprintf fmt "%s  reads: %s@." pad (String.concat ", " uses);
+      if defines <> [] then
+        Format.fprintf fmt "%s  writes: %s@." pad (String.concat ", " defines);
+      List.iter
+        (fun da ->
+          Format.fprintf fmt "%s  dram %s %s%s@." pad da.Hw.da_array
+            (match da.Hw.da_kind with
+            | `Read -> "read"
+            | `Write -> "write"
+            | `Cached -> "cached")
+            (if da.Hw.da_contiguous then "" else " [non-contiguous]"))
+        dram
+  | Hw.Tile_load { name; mem; array; words; reuse; _ } ->
+      Format.fprintf fmt "%sTileLoad %s %s <- dram:%s words=%a%s@." pad name mem
+        array Hw.pp_trip words
+        (if reuse > 1 then Printf.sprintf " reuse=%d" reuse else "")
+  | Hw.Tile_store { name; mem; array; words; _ } ->
+      Format.fprintf fmt "%sTileStore %s %s -> dram:%s words=%a@." pad name
+        (match mem with Some m -> m | None -> "(stream)")
+        array Hw.pp_trip words
+
+let pp_design fmt (d : Hw.design) =
+  Format.fprintf fmt "design %s (par=%d)@." d.Hw.design_name d.Hw.par_factor;
+  Format.fprintf fmt "memories:@.";
+  List.iter
+    (fun m ->
+      Format.fprintf fmt "  %-24s %-13s %5d x %2db banks=%d R=%d W=%d@."
+        m.Hw.mem_name (mem_kind_name m.Hw.kind) m.Hw.depth m.Hw.width_bits
+        m.Hw.banks m.Hw.readers m.Hw.writers)
+    d.Hw.mems;
+  Format.fprintf fmt "controllers:@.";
+  pp_ctrl 2 fmt d.Hw.top
+
+let design_to_string d = Format.asprintf "%a" pp_design d

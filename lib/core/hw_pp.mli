@@ -1,0 +1,7 @@
+(** Human-readable rendering of hardware designs: an indented controller
+    tree plus the memory table (used by the CLI and in tests). *)
+
+val pp_design : Format.formatter -> Hw.design -> unit
+val design_to_string : Hw.design -> string
+val mem_kind_name : Hw.mem_kind -> string
+val template_name : Hw.pipe_template -> string

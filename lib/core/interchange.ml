@@ -1,0 +1,351 @@
+open Ir
+
+type ctx = {
+  budget : int;
+  tenv : Ty.t Sym.Map.t;
+  bound : exp -> int option;
+}
+
+let add_ty ctx s t = { ctx with tenv = Sym.Map.add s t ctx.tenv }
+
+let add_idxs ctx idxs =
+  { ctx with
+    tenv = List.fold_left (fun m s -> Sym.Map.add s Ty.int_ m) ctx.tenv idxs }
+
+let infer ctx e = Validate.infer ctx.tenv e
+
+let rec is_elt_ty = function
+  | Ty.Scalar _ -> true
+  | Ty.Tuple ts -> List.for_all is_elt_ty ts
+  | Ty.Array _ | Ty.Assoc _ -> false
+
+let unstrided doms = List.for_all (fun d -> not (is_strided d)) doms
+
+(* ----------------------------------------------------------------- *)
+(* Rule 1: strided fold out of unstrided map                          *)
+(* ----------------------------------------------------------------- *)
+
+(* Map{U}{ Fold{d/b}{...} }  ==>  Fold{d/b}{ Map{U}{...} }
+   The fold accumulator becomes an array over U; init, update and combine
+   are lifted elementwise. *)
+let try_rule1 ctx { mdims; midxs; mbody } =
+  match mbody with
+  | Fold { fdims = [ (Dtiles _ as sd) ]; fidxs = [ kk ]; finit; facc; fupd; fcomb }
+    when unstrided mdims -> (
+      let ctx_i = add_idxs ctx midxs in
+      match infer ctx_i finit with
+      | exception Validate.Type_error _ -> None
+      | acc_t when is_elt_ty acc_t ->
+          let kk' = Sym.fresh (Sym.base kk) in
+          let lift body_build =
+            let idxs' = List.map (fun s -> Sym.fresh (Sym.base s)) midxs in
+            let sigma =
+              List.fold_left2
+                (fun m s s' -> Sym.Map.add s (Var s') m)
+                Sym.Map.empty midxs idxs'
+            in
+            Map
+              { mdims;
+                midxs = idxs';
+                mbody = body_build sigma (List.map (fun s -> Var s) idxs') }
+          in
+          let init' =
+            lift (fun sigma _ -> Ir.rename_binders (Ir.subst sigma finit))
+          in
+          let acc_a = Sym.fresh (Sym.base facc) in
+          let upd' =
+            lift (fun sigma idx_vars ->
+                let sigma =
+                  sigma
+                  |> Sym.Map.add kk (Var kk')
+                  |> Sym.Map.add facc (Read (Var acc_a, idx_vars))
+                in
+                Ir.rename_binders (Ir.subst sigma fupd))
+          in
+          let a = Sym.fresh "a" and b = Sym.fresh "b" in
+          let comb_body =
+            lift (fun sigma idx_vars ->
+                ignore sigma;
+                comb_apply (Combs.rename fcomb) (Read (Var a, idx_vars))
+                  (Read (Var b, idx_vars)))
+          in
+          Some
+            (Fold
+               { fdims = [ sd ];
+                 fidxs = [ kk' ];
+                 finit = init';
+                 facc = acc_a;
+                 fupd = upd';
+                 fcomb = { ca = a; cb = b; cbody = comb_body } })
+      | _ -> None)
+  | _ -> None
+
+(* ----------------------------------------------------------------- *)
+(* Rule 2: strided no-reduction MultiFold out of unstrided fold       *)
+(* ----------------------------------------------------------------- *)
+
+(* Fold{U}{ acc => MultiFold{d/b}{ (o +: l) => Map{l}{ j => f(acc(o+j)) } } }
+     ==>  MultiFold{d/b}{ (o +: l) => Fold{U}{ accs => Map{l}{ j => f(accs(j)) } } }
+   Sound when each written slice element depends only on the accumulator
+   at its own (global) position, checked via affine equality of every
+   accumulator read against [offset + inner index]. *)
+let try_rule2 _ctx { fdims; fidxs; finit; facc; fupd; fcomb } =
+  match fupd with
+  | MultiFold
+      { odims = [ (Dtiles _ as sd) ];
+        oidxs = [ kk ];
+        olets = [];
+        oouts =
+          [ { orange = [ range ];
+              oregion = [ (off, len, lenb) ];
+              oacc = _;
+              oupd = Map { mdims = [ tail_dom ]; midxs = [ j ]; mbody } } ];
+        ocomb = None;
+        _ }
+    when List.for_all (fun d -> not (is_strided d)) fdims -> (
+      (* every read of the fold accumulator must target offset + j *)
+      let expected =
+        match (Affine.of_exp (Simplify.exp off), Affine.of_exp (Var j)) with
+        | Some o, Some jj -> Some (Affine.add o jj)
+        | _ -> None
+      in
+      let acc_reads_ok =
+        match expected with
+        | None -> false
+        | Some want ->
+            (* every occurrence of the accumulator symbol must be a read at
+               exactly [offset + j]: compare the count of well-formed reads
+               against the count of Var occurrences (each read contains
+               one) *)
+            let total = ref 0 and proper = ref 0 in
+            Rewrite.iter_exp
+              (function
+                | Var s when Sym.equal s facc -> incr total
+                | Read (Var s, [ idx ]) when Sym.equal s facc -> (
+                    match Affine.of_exp (Simplify.exp idx) with
+                    | Some a when Affine.equal a want -> incr proper
+                    | _ -> ())
+                | _ -> ())
+              mbody;
+            !total > 0 && !total = !proper
+      in
+      match (finit, Combs.elementwise fcomb, acc_reads_ok) with
+      | Zeros (elt, [ _ ]), Some build, true ->
+          let kk' = Sym.fresh (Sym.base kk) in
+          let sub_kk e = Ir.subst (Sym.Map.singleton kk (Var kk')) e in
+          let off' = sub_kk off and len' = sub_kk len in
+          let tail_dom' =
+            match tail_dom with
+            | Dtail { total; tile; outer } ->
+                Dtail
+                  { total;
+                    tile;
+                    outer = (if Sym.equal outer kk then kk' else outer) }
+            | d -> d
+          in
+          let fidxs' = List.map (fun s -> Sym.fresh (Sym.base s)) fidxs in
+          let facc' = Sym.fresh (Sym.base facc) in
+          let j' = Sym.fresh (Sym.base j) in
+          (* inner body: acc reads redirected to the slice at j' *)
+          let rec redirect e =
+            match e with
+            | Read (Var s, [ _ ]) when Sym.equal s facc ->
+                Read (Var facc', [ Var j' ])
+            | e -> Rewrite.map_children redirect e
+          in
+          let sigma =
+            List.fold_left2
+              (fun m a b -> Sym.Map.add a (Var b) m)
+              (Sym.Map.add kk (Var kk') (Sym.Map.singleton j (Var j')))
+              fidxs fidxs'
+          in
+          let inner_body =
+            Ir.rename_binders (Ir.subst sigma (redirect mbody))
+          in
+          let slice_acc = Sym.fresh "acc" in
+          Some
+            (MultiFold
+               { odims = [ sd ];
+                 oidxs = [ kk' ];
+                 oinit = Zeros (elt, [ range ]);
+                 olets = [];
+                 oouts =
+                   [ { orange = [ range ];
+                       oregion = [ (off', len', lenb) ];
+                       oacc = slice_acc;
+                       oupd =
+                         Fold
+                           { fdims;
+                             fidxs = fidxs';
+                             finit = Zeros (elt, [ len' ]);
+                             facc = facc';
+                             fupd =
+                               Map
+                                 { mdims = [ tail_dom' ];
+                                   midxs = [ j' ];
+                                   mbody = inner_body };
+                             fcomb =
+                               (let a = Sym.fresh "a" and b = Sym.fresh "b" in
+                                { ca = a;
+                                  cb = b;
+                                  cbody = build [ len' ] (Var a) (Var b) }) } }
+                   ];
+                 ocomb = None })
+      | _ -> None)
+  | _ -> None
+
+(* ----------------------------------------------------------------- *)
+(* Split: fission an imperfect nest to expose a perfect one           *)
+(* ----------------------------------------------------------------- *)
+
+(* MultiFold{D}{ t = Fold{d/b}{...}; scatter(t) }
+     ==>  tmp = Map{D}{ Fold{d/b}{...} }           (then rule 1 on the Map)
+          MultiFold{D}{ t = tmp(i); scatter(t) }
+   Only when the tmp intermediate fits on-chip. *)
+let rec peel_projs acc = function
+  | Proj (e, i) -> peel_projs (i :: acc) e
+  | e -> (acc, e)
+
+let rebuild_projs projs e =
+  List.fold_right (fun i acc -> Proj (acc, i)) (List.rev projs) e
+
+let try_split ctx ({ odims; oidxs; olets; _ } as mf) =
+  match olets with
+  | [ (t, whole) ] when unstrided odims -> (
+      (* the binding may project out of the fold (e.g. taking ._2 of a
+         (distance, index) pair): split on the fold underneath and keep
+         the projection on the intermediate reads *)
+      let projs, bexp = peel_projs [] whole in
+      match bexp with
+      | Fold { fdims = [ Dtiles _ ]; _ } -> (
+      let ctx_i = add_idxs ctx oidxs in
+      match infer ctx_i bexp with
+      | exception Validate.Type_error _ -> None
+      | elt_t
+        when is_elt_ty elt_t
+             && Split_cost.intermediate_fits ~budget_words:ctx.budget
+                  ~bound:ctx.bound odims elt_t ->
+          let map_idxs = List.map (fun s -> Sym.fresh (Sym.base s)) oidxs in
+          let sigma =
+            List.fold_left2
+              (fun m s s' -> Sym.Map.add s (Var s') m)
+              Sym.Map.empty oidxs map_idxs
+          in
+          let mapped =
+            { mdims = odims;
+              midxs = map_idxs;
+              mbody = Ir.rename_binders (Ir.subst sigma bexp) }
+          in
+          let interchanged =
+            match try_rule1 ctx mapped with
+            | Some e -> e
+            | None -> Map mapped
+          in
+          let tmp = Sym.fresh (Sym.base t ^ "s") in
+          Some
+            (Let
+               ( tmp,
+                 interchanged,
+                 MultiFold
+                   { mf with
+                     olets =
+                       [ ( t,
+                           rebuild_projs projs
+                             (Read (Var tmp, List.map (fun s -> Var s) oidxs))
+                         ) ]
+                   } ))
+      | _ -> None)
+      | _ -> None)
+  | _ -> None
+
+(* ----------------------------------------------------------------- *)
+(* Bottom-up driver with type-environment threading                   *)
+(* ----------------------------------------------------------------- *)
+
+let rec ic ctx e =
+  match e with
+  | Var _ | Cf _ | Ci _ | Cb _ | EmptyArr _ | Zeros _ -> e
+  | Tup _ | Proj _ | Prim _ | If _ | Len _ | Read _ | Slice _ | Copy _
+  | ArrLit _ ->
+      Rewrite.map_children (ic ctx) e
+  | Let (s, e1, e2) ->
+      let t1 = infer ctx e1 in
+      Let (s, ic ctx e1, ic (add_ty ctx s t1) e2)
+  | Map m -> (
+      let m' = { m with mbody = ic (add_idxs ctx m.midxs) m.mbody } in
+      match try_rule1 ctx m' with Some e' -> e' | None -> Map m')
+  | Fold f -> (
+      let acc_t = infer ctx f.finit in
+      let ctx_b = add_ty (add_idxs ctx f.fidxs) f.facc acc_t in
+      let f' = { f with finit = ic ctx f.finit; fupd = ic ctx_b f.fupd } in
+      match try_rule2 ctx f' with Some e' -> e' | None -> Fold f')
+  | MultiFold mf -> (
+      let init_t = infer ctx mf.oinit in
+      let comp_tys =
+        match (init_t, mf.oouts) with
+        | Ty.Tuple ts, _ :: _ :: _ -> ts
+        | t, _ -> [ t ]
+      in
+      let ctx_i = add_idxs ctx mf.oidxs in
+      let ctx_i, olets' =
+        List.fold_left
+          (fun (c, acc) (s, e1) ->
+            let t1 = infer c e1 in
+            (add_ty c s t1, (s, ic c e1) :: acc))
+          (ctx_i, []) mf.olets
+      in
+      let olets' = List.rev olets' in
+      let oouts' =
+        List.map2
+          (fun out comp_t ->
+            let elt = match comp_t with Ty.Array (e1, _) -> e1 | t -> t in
+            let unit_region =
+              List.for_all (fun (_, l, _) -> l = Ci 1) out.oregion
+            in
+            let acc_t =
+              if out.oregion = [] || unit_region then elt
+              else Ty.Array (elt, List.length out.oregion)
+            in
+            { out with oupd = ic (add_ty ctx_i out.oacc acc_t) out.oupd })
+          mf.oouts comp_tys
+      in
+      let mf' = { mf with oinit = ic ctx mf.oinit; olets = olets'; oouts = oouts' } in
+      match try_split ctx mf' with Some e' -> e' | None -> MultiFold mf')
+  | FlatMap fm ->
+      FlatMap { fm with fmbody = ic (add_idxs ctx [ fm.fmidx ]) fm.fmbody }
+  | GroupByFold g ->
+      let v_t = infer ctx g.ginit in
+      let ctx_i = add_idxs ctx g.gidxs in
+      let ctx_i, glets' =
+        List.fold_left
+          (fun (c, acc) (s, e1) ->
+            let t1 = infer c e1 in
+            (add_ty c s t1, (s, ic c e1) :: acc))
+          (ctx_i, []) g.glets
+      in
+      let glets' = List.rev glets' in
+      GroupByFold
+        { g with
+          glets = glets';
+          gkey = ic ctx_i g.gkey;
+          gupd = ic (add_ty ctx_i g.gacc v_t) g.gupd }
+
+let exp ~budget_words ~tenv ~bound e = ic { budget = budget_words; tenv; bound } e
+
+let program ?(budget_words = 1 lsl 18) (p : program) =
+  let tenv = Validate.initial_env p in
+  let bound e =
+    match e with
+    | Ci c -> Some c
+    | Var s -> Ir.max_sizes_bound p s
+    | _ -> None
+  in
+  (* "We apply these two rules whenever possible" (Section 4): one
+     interchange can expose another, so iterate to a fixpoint (bounded —
+     each application strictly restructures a nest). *)
+  let rec fix n body =
+    let body' = exp ~budget_words ~tenv ~bound body in
+    if n = 0 || Rewrite.node_count body' = Rewrite.node_count body then body'
+    else fix (n - 1) body'
+  in
+  { p with body = fix 3 p.body }

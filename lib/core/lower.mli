@@ -1,0 +1,43 @@
+(** Hardware generation: lower a (tiled or untiled) PPL program to a
+    hardware design built from the templates of Table 4.
+
+    Mapping, following Section 5:
+    - statically sized arrays (tile copies, on-chip accumulators, split
+      intermediates) become buffers; tile copies additionally get a tile
+      load unit;
+    - innermost patterns over scalars become pipelined execution units
+      (Map -> vector unit, Fold/MultiFold -> reduction tree, FlatMap ->
+      FIFO writer, GroupByFold -> CAM updater);
+    - outer patterns become loop controllers whose bodies are decomposed
+      into stages (one per shared binding, tile copy, and accumulator
+      update); with metapipelining enabled the controller schedules the
+      stages as a metapipeline and stage-coupling buffers are promoted to
+      double buffers ({!Metapipe});
+    - a MultiFold tiled into a fold of MultiFolds is detected as the
+      paper's redundant-accumulation case: the inner MultiFold writes the
+      outer accumulator directly and no intermediate buffer or merge
+      stage is emitted;
+    - accumulators whose static bound exceeds the on-chip budget live in
+      DRAM: non-unit update regions get a staging buffer plus a tile
+      store (and a load + merge for read-modify-write combines);
+    - remaining main-memory reads (non-affine accesses) are served by
+      caches when [cache_leftover] is set (tiled designs), or counted as
+      direct burst traffic (the baseline). *)
+
+type opts = {
+  meta : bool;  (** generate metapipeline schedules *)
+  par : int;  (** innermost parallelism factor (constant across configs) *)
+  budget_words : int;  (** on-chip capacity for accumulators/buffers *)
+  cache_leftover : bool;  (** allocate caches for non-affine reads *)
+  fifo_rate : float;  (** expected FlatMap output rate (elements/input) *)
+}
+
+val default_opts : opts
+(** [meta = true], [par = 16], 2^18 words, caches on, rate 0.05. *)
+
+val baseline_opts : opts
+(** The Section 6.1 baseline: no metapipelining, no caches — burst-level
+    locality only.  Same parallelism factor. *)
+
+val program : opts -> Ir.program -> Hw.design
+(** @raise Validate.Type_error on an ill-typed program. *)

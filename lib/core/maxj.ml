@@ -1,0 +1,148 @@
+let trip_str t = Format.asprintf "%a" Hw.pp_trip t
+
+let trips_str trips =
+  "{" ^ String.concat ", " (List.map trip_str trips) ^ "}"
+
+let mem_decl buf (m : Hw.mem) =
+  let ctor =
+    match m.Hw.kind with
+    | Hw.Buffer -> "mem.alloc"
+    | Hw.Double_buffer -> "mem.allocDouble"
+    | Hw.Cache -> "mem.allocCache"
+    | Hw.Fifo -> "mem.allocFIFO"
+    | Hw.Cam -> "mem.allocCAM"
+    | Hw.Reg -> "dfe.reg"
+  in
+  Buffer.add_string buf
+    (Printf.sprintf
+       "    Memory %s = %s(dfeFloat(8, %d), /*depth*/ %d, /*banks*/ %d); // R:%d W:%d\n"
+       m.Hw.mem_name ctor m.Hw.width_bits m.Hw.depth m.Hw.banks m.Hw.readers
+       m.Hw.writers)
+
+(* Java-ish rendering of a datapath expression, for the generated kernel's
+   dataflow comment.  Deliberately shallow: deep nests elide to [...]. *)
+let rec java_of_exp ?(depth = 4) (e : Ir.exp) =
+  if depth = 0 then "..."
+  else
+    let go = java_of_exp ~depth:(depth - 1) in
+    match e with
+    | Ir.Var s -> Sym.name s
+    | Ir.Cf f -> Printf.sprintf "constant.var(%g)" f
+    | Ir.Ci i -> string_of_int i
+    | Ir.Cb b -> string_of_bool b
+    | Ir.Read (a, idxs) ->
+        Printf.sprintf "%s.read(%s)" (go a)
+          (String.concat ", " (List.map go idxs))
+    | Ir.Prim (p, args) -> (
+        let args' = List.map go args in
+        match (p, args') with
+        | Ir.Add, [ a; b ] -> Printf.sprintf "(%s + %s)" a b
+        | Ir.Sub, [ a; b ] -> Printf.sprintf "(%s - %s)" a b
+        | Ir.Mul, [ a; b ] -> Printf.sprintf "(%s * %s)" a b
+        | Ir.Div, [ a; b ] -> Printf.sprintf "(%s / %s)" a b
+        | Ir.Lt, [ a; b ] -> Printf.sprintf "(%s < %s)" a b
+        | Ir.Le, [ a; b ] -> Printf.sprintf "(%s <= %s)" a b
+        | Ir.Gt, [ a; b ] -> Printf.sprintf "(%s > %s)" a b
+        | Ir.Ge, [ a; b ] -> Printf.sprintf "(%s >= %s)" a b
+        | Ir.Eq, [ a; b ] -> Printf.sprintf "(%s === %s)" a b
+        | Ir.Min, [ a; b ] -> Printf.sprintf "KernelMath.min(%s, %s)" a b
+        | Ir.Max, [ a; b ] -> Printf.sprintf "KernelMath.max(%s, %s)" a b
+        | Ir.Sqrt, [ a ] -> Printf.sprintf "KernelMath.sqrt(%s)" a
+        | Ir.Exp, [ a ] -> Printf.sprintf "KernelMath.exp(%s)" a
+        | _, args' ->
+            Printf.sprintf "%s(%s)"
+              (String.lowercase_ascii
+                 (match p with
+                 | Ir.Mod -> "mod" | Ir.Neg -> "neg" | Ir.Abs -> "abs"
+                 | Ir.Log -> "log" | Ir.Ne -> "neq" | Ir.And -> "and"
+                 | Ir.Or -> "or" | Ir.Not -> "not" | Ir.ToFloat -> "cast"
+                 | Ir.ToInt -> "cast" | _ -> "op"))
+              (String.concat ", " args'))
+    | Ir.If (c, t, f) ->
+        Printf.sprintf "(%s ? %s : %s)" (go c) (go t) (go f)
+    | Ir.Let (s, e1, e2) ->
+        Printf.sprintf "let %s = %s in %s" (Sym.name s) (go e1) (go e2)
+    | Ir.Tup es -> Printf.sprintf "{%s}" (String.concat ", " (List.map go es))
+    | Ir.Proj (e1, i) -> Printf.sprintf "%s[%d]" (go e1) i
+    | _ -> "..."
+
+let template_ctor = function
+  | Hw.Vector -> "VectorUnit"
+  | Hw.Tree -> "ReductionTree"
+  | Hw.Fifo_write -> "ParallelFIFO"
+  | Hw.Cam_update -> "CAMUpdate"
+  | Hw.Scalar_unit -> "ScalarUnit"
+
+let rec emit_ctrl buf indent c =
+  let pad = String.make indent ' ' in
+  let line fmt = Printf.ksprintf (fun s -> Buffer.add_string buf (pad ^ s ^ "\n")) fmt in
+  match c with
+  | Hw.Seq { name; children } ->
+      line "SequentialController %s = control.sequential(() -> {" name;
+      List.iter (emit_ctrl buf (indent + 2)) children;
+      line "});"
+  | Hw.Par { name; children } ->
+      line "ParallelController %s = control.parallel(() -> {" name;
+      List.iter (emit_ctrl buf (indent + 2)) children;
+      line "});"
+  | Hw.Loop { name; trips; meta; stages } ->
+      line "%s %s = control.%s(%s, () -> {"
+        (if meta then "Metapipeline" else "LoopController")
+        name
+        (if meta then "metapipeline" else "loop")
+        (trips_str trips);
+      List.iter (emit_ctrl buf (indent + 2)) stages;
+      line "});"
+  | Hw.Pipe { name; trips; template; par; depth; ii; ops; uses; defines; dram; body }
+    ->
+      line "%s %s = compute.%s(%s)" (template_ctor template) name
+        (String.uncapitalize_ascii (template_ctor template))
+        (trips_str trips);
+      (match body with
+      | Some b ->
+          line "    // dataflow: %s"
+            (String.concat " " (String.split_on_char '\n' (java_of_exp b)))
+      | None -> ());
+      line "    .parallelism(%d).depth(%d).ii(%d)" par depth ii;
+      line "    .ops(/*fp*/ %d, /*cmp*/ %d, /*int*/ %d)" ops.Hw.flops
+        ops.Hw.cmp_ops ops.Hw.int_ops;
+      if uses <> [] then line "    .reads(%s)" (String.concat ", " uses);
+      if defines <> [] then line "    .writes(%s)" (String.concat ", " defines);
+      List.iter
+        (fun da ->
+          line "    .dramStream(\"%s\", %s)" da.Hw.da_array
+            (match da.Hw.da_kind with
+            | `Read -> if da.Hw.da_contiguous then "BURST_READ" else "STRIDED_READ"
+            | `Cached -> "CACHED_READ"
+            | `Write -> "BURST_WRITE"))
+        dram;
+      line "    ;"
+  | Hw.Tile_load { name; mem; array; words; reuse; _ } ->
+      line
+        "TileMemoryCommand %s = mem.tileLoad(\"%s\", %s, /*words*/ %s%s);"
+        name array mem (trip_str words)
+        (if reuse > 1 then Printf.sprintf ", /*reuse*/ %d" reuse else "")
+  | Hw.Tile_store { name; mem; array; words; _ } ->
+      line "TileMemoryCommand %s = mem.tileStore(\"%s\", %s, /*words*/ %s);"
+        name array
+        (match mem with Some m -> m | None -> "STREAM")
+        (trip_str words)
+
+let emit (d : Hw.design) =
+  let buf = Buffer.create 4096 in
+  Buffer.add_string buf
+    (Printf.sprintf "// Generated by ppl-fpga; MaxJ-like HGL\n\
+                     class %sKernel extends Kernel {\n\
+                    \  %sKernel(KernelParameters params) {\n\
+                    \    super(params); // par_factor = %d\n\n"
+       (String.capitalize_ascii d.Hw.design_name)
+       (String.capitalize_ascii d.Hw.design_name)
+       d.Hw.par_factor);
+  Buffer.add_string buf "    // -- on-chip memories (Table 4) --\n";
+  List.iter (mem_decl buf) d.Hw.mems;
+  Buffer.add_string buf "\n    // -- controller hierarchy --\n";
+  emit_ctrl buf 4 d.Hw.top;
+  Buffer.add_string buf "  }\n}\n";
+  Buffer.contents buf
+
+let pp fmt d = Format.pp_print_string fmt (emit d)

@@ -1,0 +1,13 @@
+(** MaxJ-like hardware generation language emission.
+
+    The paper's compiler emits MaxJ, a Java-based HGL whose programs
+    instantiate parameterizable templates (Section 5, Table 4).  The
+    Maxeler toolchain is not available here, so this emitter produces
+    faithful MaxJ-{e like} text — a Kernel class instantiating the same
+    template vocabulary with the same parameters — so generated designs
+    are inspectable and diffable. *)
+
+val emit : Hw.design -> string
+(** The full kernel text for a design. *)
+
+val pp : Format.formatter -> Hw.design -> unit

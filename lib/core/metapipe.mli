@@ -1,0 +1,19 @@
+(** Metapipeline finalization (Section 5).
+
+    After lowering, every output buffer that couples two stages of a
+    metapipeline is promoted to a double buffer — required to avoid
+    write-after-read hazards between stages executing different outer
+    iterations concurrently.  Buffers written and read by stages of
+    non-metapipelined (sequential) loops stay single-buffered, as do
+    preloaded top-level buffers (Fig. 6: the points tile is double
+    buffered, the centroids preload is not).
+
+    Also fills in each memory's reader/writer port counts from the
+    finished controller tree. *)
+
+val finalize : Hw.design -> Hw.design
+
+val stage_writes : Hw.ctrl -> string list
+(** All on-chip memories written anywhere within a controller subtree. *)
+
+val stage_reads : Hw.ctrl -> string list

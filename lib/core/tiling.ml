@@ -1,0 +1,61 @@
+type result = {
+  fused : Ir.program;
+  stripped : Ir.program;
+  stripped_with_copies : Ir.program;
+  tiled : Ir.program;
+}
+
+let src = Logs.Src.create "ppl.tiling" ~doc:"Tiling pipeline driver"
+
+module Log = (val Logs.src_log src : Logs.LOG)
+
+let canonicalize_lens (p : Ir.program) =
+  let shapes =
+    List.map (fun i -> (i.Ir.iname, i.Ir.ishape)) p.Ir.inputs
+  in
+  let rule e =
+    match e with
+    | Ir.Len (Ir.Var s, d) -> (
+        match List.find_opt (fun (n, _) -> Sym.equal n s) shapes with
+        | Some (_, shape) when d < List.length shape -> List.nth shape d
+        | _ -> e)
+    | e -> e
+  in
+  { p with body = Rewrite.bottom_up rule p.body }
+
+let cleanup p = Simplify.program (Code_motion.program (Cse.program p))
+
+let run ?fuse_filters ?budget_words ~tiles (p : Ir.program) =
+  (* reject tile configurations that cannot take effect *)
+  List.iter
+    (fun (s, b) ->
+      if b <= 0 then
+        invalid_arg
+          (Printf.sprintf "Tiling.run: tile size %d for %s" b (Sym.name s));
+      if not (List.exists (Sym.equal s) p.Ir.size_params) then
+        invalid_arg
+          (Printf.sprintf "Tiling.run: %s is not a size parameter of %s"
+             (Sym.name s) p.Ir.pname))
+    tiles;
+  ignore (Validate.check_program p);
+  let nodes (q : Ir.program) = Rewrite.node_count q.Ir.body in
+  let fused = cleanup (Fusion.program ?fuse_filters (canonicalize_lens p)) in
+  ignore (Validate.check_program fused);
+  Log.debug (fun m ->
+      m "%s: fused (%d -> %d nodes)" p.Ir.pname (nodes p) (nodes fused));
+  let stripped = Simplify.program (Strip_mine.program ~tiles fused) in
+  ignore (Validate.check_program stripped);
+  Log.debug (fun m -> m "%s: strip-mined (%d nodes)" p.Ir.pname (nodes stripped));
+  let stripped_with_copies =
+    cleanup (Copy_insert.program ?budget_words stripped)
+  in
+  ignore (Validate.check_program stripped_with_copies);
+  let tiled =
+    cleanup
+      (Copy_insert.program ?budget_words
+         (Interchange.program ?budget_words stripped))
+  in
+  ignore (Validate.check_program tiled);
+  Log.debug (fun m ->
+      m "%s: interchanged + copies (%d nodes)" p.Ir.pname (nodes tiled));
+  { fused; stripped; stripped_with_copies; tiled }

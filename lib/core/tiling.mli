@@ -1,0 +1,31 @@
+(** The tiling pipeline driver (Figure 1, "Pattern Transformations").
+
+    Sequencing: fusion and cleanup passes first (the paper assumes they
+    have already been run, Section 4), then strip mining, then pattern
+    interchange, then tile-copy inference with CSE and code motion to
+    deduplicate and hoist the copies.
+
+    Intermediate programs are retained so the evaluation can report them
+    separately — Fig. 5c compares main-memory traffic of the {e fused},
+    {e strip-mined} and {e interchanged} forms of k-means. *)
+
+type result = {
+  fused : Ir.program;  (** after fusion, CSE, code motion, simplification *)
+  stripped : Ir.program;  (** after strip mining (no copies yet) *)
+  stripped_with_copies : Ir.program;
+      (** strip-mined form with tile copies — Fig. 5a with copies *)
+  tiled : Ir.program;
+      (** final: interchanged, copies inserted, cleaned — Fig. 5b *)
+}
+
+val run :
+  ?fuse_filters:bool ->
+  ?budget_words:int ->
+  tiles:(Sym.t * int) list ->
+  Ir.program ->
+  result
+(** @raise Validate.Type_error if the input program is ill-typed. *)
+
+val canonicalize_lens : Ir.program -> Ir.program
+(** Replace [Len] of a program input by the input's declared shape
+    expression, so domain sizes are visible to the tile configuration. *)

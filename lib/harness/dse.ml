@@ -1,0 +1,86 @@
+type point = {
+  tiles : (Sym.t * int) list;
+  par : int;
+  cycles : float;
+  area : Area_model.t;
+  feasible : bool;
+}
+
+type result = {
+  points : point list;
+  best : point option;
+}
+
+let cartesian (candidates : (Sym.t * int list) list) =
+  List.fold_right
+    (fun (s, sizes) acc ->
+      List.concat_map (fun rest -> List.map (fun b -> (s, b) :: rest) sizes) acc)
+    candidates [ [] ]
+
+let explore_joint ?machine ?(opts = Lower.default_opts)
+    ?(bram_budget = 2560.0) ~prog ~candidates ~pars ~sizes () =
+  let points =
+    List.concat_map
+      (fun tiles ->
+        match Tiling.run ~tiles prog with
+        | r ->
+            List.map
+              (fun par ->
+                let design =
+                  Lower.program { opts with Lower.par } r.Tiling.tiled
+                in
+                let rep = Simulate.run ?machine design ~sizes in
+                let area = Area_model.of_design design in
+                { tiles;
+                  par;
+                  cycles = rep.Simulate.cycles;
+                  area;
+                  feasible =
+                    area.Area_model.bram <= bram_budget
+                    && Area_model.fits area })
+              pars
+        | exception _ -> [])
+      (cartesian candidates)
+  in
+  let points = List.sort (fun a b -> compare a.cycles b.cycles) points in
+  let best = List.find_opt (fun p -> p.feasible) points in
+  { points; best }
+
+let explore ?machine ?(opts = Lower.default_opts) ?bram_budget ~prog
+    ~candidates ~sizes () =
+  explore_joint ?machine ~opts ?bram_budget ~prog ~candidates
+    ~pars:[ opts.Lower.par ] ~sizes ()
+
+let explore_bench ?bram_budget ?(pars = []) (bench : Suite.bench) =
+  let candidates =
+    List.map
+      (fun (s, default) ->
+        let around =
+          List.sort_uniq compare
+            (List.filter
+               (fun b -> b >= 8)
+               [ default / 4; default / 2; default; default * 2; default * 4 ])
+        in
+        (s, around))
+      bench.Suite.tiles
+  in
+  let pars = if pars = [] then [ Lower.default_opts.Lower.par ] else pars in
+  explore_joint ?bram_budget ~prog:bench.Suite.prog ~candidates ~pars
+    ~sizes:bench.Suite.sim_sizes ()
+
+let print_result r =
+  Printf.printf "%-36s %5s %14s %10s %10s\n" "tiles" "par" "cycles" "bram"
+    "feasible";
+  List.iter
+    (fun p ->
+      let tiles =
+        String.concat ", "
+          (List.map (fun (s, b) -> Printf.sprintf "%s=%d" (Sym.base s) b) p.tiles)
+      in
+      Printf.printf "%-36s %5d %14.0f %10.0f %10s%s\n" tiles p.par p.cycles
+        p.area.Area_model.bram
+        (if p.feasible then "yes" else "no")
+        (match r.best with
+        | Some b when b.tiles == p.tiles && b.par = p.par -> "   <- selected"
+        | _ -> ""))
+    r.points

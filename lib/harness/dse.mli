@@ -1,0 +1,57 @@
+(** Automated tile-size selection by design-space exploration.
+
+    The paper requires user-specified tile sizes and names this as future
+    work (Section 4: "tile sizes for all pattern dimensions will instead
+    be determined by the compiler through automated tile size selection
+    using modeling and design space exploration").  This module implements
+    that loop: enumerate candidate tile assignments, compile each through
+    the full tiling + hardware-generation pipeline, evaluate with the
+    performance and area models, discard points over the on-chip memory
+    budget, and return the Pareto-best point. *)
+
+type point = {
+  tiles : (Sym.t * int) list;
+  par : int;  (** vector-lane / tree-leaf parallelism factor *)
+  cycles : float;
+  area : Area_model.t;
+  feasible : bool;  (** within the block-RAM budget and the chip *)
+}
+
+type result = {
+  points : point list;  (** all evaluated points, fastest first *)
+  best : point option;  (** fastest feasible point *)
+}
+
+val explore :
+  ?machine:Machine.t ->
+  ?opts:Lower.opts ->
+  ?bram_budget:float ->
+  prog:Ir.program ->
+  candidates:(Sym.t * int list) list ->
+  sizes:(Sym.t * int) list ->
+  unit ->
+  result
+(** [explore ~prog ~candidates ~sizes ()] evaluates the cartesian product
+    of per-parameter candidate tile sizes.  Default budget: 2560 M20K
+    blocks (a Stratix V). *)
+
+val explore_joint :
+  ?machine:Machine.t ->
+  ?opts:Lower.opts ->
+  ?bram_budget:float ->
+  prog:Ir.program ->
+  candidates:(Sym.t * int list) list ->
+  pars:int list ->
+  sizes:(Sym.t * int) list ->
+  unit ->
+  result
+(** Joint tile-size and parallelism-factor exploration: the cartesian
+    product of tile assignments and [pars] values.  Feasibility also
+    checks chip capacity (logic/FF), which parallelism spends. *)
+
+val explore_bench : ?bram_budget:float -> ?pars:int list -> Suite.bench -> result
+(** Convenience: power-of-two candidates around the benchmark's default
+    tile configuration, evaluated at its simulation sizes.  [pars]
+    defaults to the single default parallelism factor. *)
+
+val print_result : result -> unit

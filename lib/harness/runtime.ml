@@ -1,0 +1,40 @@
+type host = {
+  pcie_bytes_per_sec : float;
+  invocation_overhead_s : float;
+}
+
+let default_host =
+  { pcie_bytes_per_sec = 4.0e9; invocation_overhead_s = 30.0e-6 }
+
+type summary = {
+  device_s : float;
+  transfer_s : float;
+  overhead_s : float;
+  total_s : float;
+  per_invocation_s : float;
+}
+
+let run ?(host = default_host) ?(machine = Machine.default) design ~sizes
+    ~input_bytes ~output_bytes ~invocations =
+  let invocations = Int.max 1 invocations in
+  let rep = Simulate.run ~machine design ~sizes in
+  let device_once = Machine.seconds machine rep.Simulate.cycles in
+  let device_s = device_once *. float_of_int invocations in
+  let transfer_s =
+    (input_bytes +. (output_bytes *. float_of_int invocations))
+    /. host.pcie_bytes_per_sec
+  in
+  let overhead_s = host.invocation_overhead_s *. float_of_int invocations in
+  { device_s;
+    transfer_s;
+    overhead_s;
+    total_s = device_s +. transfer_s +. overhead_s;
+    per_invocation_s = device_once }
+
+let pp_summary fmt s =
+  Format.fprintf fmt
+    "device %.3f ms (%.3f ms/invocation), transfers %.3f ms, overhead %.3f \
+     ms, total %.3f ms"
+    (1e3 *. s.device_s)
+    (1e3 *. s.per_invocation_s)
+    (1e3 *. s.transfer_s) (1e3 *. s.overhead_s) (1e3 *. s.total_s)

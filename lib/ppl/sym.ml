@@ -1,0 +1,23 @@
+type t = { id : int; base : string }
+
+let counter = ref 0
+
+let fresh base =
+  incr counter;
+  { id = !counter; base }
+
+let base t = t.base
+let id t = t.id
+let name t = Printf.sprintf "%s_%d" t.base t.id
+let equal a b = a.id = b.id
+let compare a b = Int.compare a.id b.id
+let pp fmt t = Format.pp_print_string fmt (name t)
+
+module Ord = struct
+  type nonrec t = t
+
+  let compare = compare
+end
+
+module Set = Set.Make (Ord)
+module Map = Map.Make (Ord)

@@ -1,0 +1,38 @@
+type scalar = Float | Int | Bool
+
+type t =
+  | Scalar of scalar
+  | Tuple of t list
+  | Array of t * int
+  | Assoc of t * t
+
+let float_ = Scalar Float
+let int_ = Scalar Int
+let bool_ = Scalar Bool
+let array elt rank = Array (elt, rank)
+
+let rec array_free = function
+  | Scalar _ -> true
+  | Tuple ts -> List.for_all array_free ts
+  | Array _ | Assoc _ -> false
+
+let rec well_formed = function
+  | Scalar _ -> true
+  | Tuple ts -> List.for_all well_formed ts
+  | Array (elt, rank) -> rank >= 0 && array_free elt
+  | Assoc (k, v) -> array_free k && array_free v
+
+let equal (a : t) (b : t) = a = b
+
+let rec pp fmt = function
+  | Scalar Float -> Format.pp_print_string fmt "Float"
+  | Scalar Int -> Format.pp_print_string fmt "Int"
+  | Scalar Bool -> Format.pp_print_string fmt "Bool"
+  | Tuple ts ->
+      Format.fprintf fmt "(@[<hov>%a@])"
+        (Format.pp_print_list ~pp_sep:(fun f () -> Format.fprintf f ",@ ") pp)
+        ts
+  | Array (elt, rank) -> Format.fprintf fmt "%a^%d" pp elt rank
+  | Assoc (k, v) -> Format.fprintf fmt "(%a=>%a)^1" pp k pp v
+
+let to_string t = Format.asprintf "%a" pp t

@@ -1,0 +1,19 @@
+(** Type and well-formedness checking for PPL programs.
+
+    Beyond ordinary typing, this enforces the restrictions of Section 3:
+    no nested arrays, one-dimensional domains for FlatMap and GroupByFold,
+    MultiFold update values of the same arity as the accumulator, and
+    combine functions of type [(V, V) -> V]. *)
+
+exception Type_error of string
+
+val infer : Ty.t Sym.Map.t -> Ir.exp -> Ty.t
+(** Infer the type of an expression under the given environment.
+    @raise Type_error on any violation. *)
+
+val check_program : Ir.program -> Ty.t
+(** Validate a whole program and return its result type.  Size parameters
+    are bound at type [Int], inputs at their declared array types. *)
+
+val initial_env : Ir.program -> Ty.t Sym.Map.t
+(** The environment binding a program's size parameters and inputs. *)

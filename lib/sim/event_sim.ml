@@ -1,0 +1,220 @@
+type result = {
+  report : Simulate.report;
+  events : int;
+  fallbacks : int;
+}
+
+let max_events = 200_000
+
+(* Mutable simulation state: the DRAM interface as a calendar of busy
+   intervals (a request is granted the earliest idle gap at or after its
+   request time — so a transfer issued by a later-visited controller can
+   still use memory idle time before an earlier-visited one), the event
+   budget, and traffic accumulators. *)
+type st = {
+  machine : Machine.t;
+  sizes : (Sym.t * int) list;
+  mutable dram_cal : (float * float) list;  (** sorted disjoint busy spans *)
+  mutable dram_busy : float;  (** accumulated DRAM-busy cycles *)
+  mutable events : int;
+  mutable fallbacks : int;
+  mutable reads : (string * float) list;
+  mutable writes : (string * float) list;
+}
+
+let add st table (arr, words) =
+  let rec go = function
+    | [] -> [ (arr, words) ]
+    | (a, w) :: rest when a = arr -> (a, w +. words) :: rest
+    | x :: rest -> x :: go rest
+  in
+  match table with
+  | `R -> st.reads <- go st.reads
+  | `W -> st.writes <- go st.writes
+
+(* Acquire [dur] cycles of DRAM time starting no earlier than [t].  The
+   interface time-multiplexes outstanding transfers at burst granularity,
+   so a request simply consumes the idle gaps of the calendar in time
+   order (preemptive FIFO) rather than needing one contiguous slot.
+   Returns the completion time. *)
+let dram_transfer st t dur =
+  if dur <= 0.0 then t
+  else begin
+    st.dram_busy <- st.dram_busy +. dur;
+    let rec consume cursor remaining spans acc_new =
+      match spans with
+      | [] -> ((cursor, cursor +. remaining) :: acc_new, cursor +. remaining)
+      | (s, e) :: rest ->
+          if e <= cursor then consume cursor remaining rest acc_new
+          else if s <= cursor then consume e remaining rest acc_new
+          else begin
+            let gap = s -. cursor in
+            if gap >= remaining then
+              ((cursor, cursor +. remaining) :: acc_new, cursor +. remaining)
+            else consume e (remaining -. gap) rest ((cursor, s) :: acc_new)
+          end
+    in
+    let new_spans, fin = consume (Float.max t 0.0) dur st.dram_cal [] in
+    let sorted =
+      List.sort compare (List.rev_append new_spans st.dram_cal)
+    in
+    let rec merge = function
+      | (s1, e1) :: (s2, e2) :: rest when e1 >= s2 ->
+          merge ((s1, Float.max e1 e2) :: rest)
+      | x :: rest -> x :: merge rest
+      | [] -> []
+    in
+    let cal = merge sorted in
+    (* keep the calendar bounded: beyond 2048 spans, conservatively
+       coalesce the oldest half into one busy span (requests rarely
+       back-fill that far; the approximation is pessimistic) *)
+    let cal =
+      let len = List.length cal in
+      if len <= 2048 then cal
+      else begin
+        let rec split i acc = function
+          | x :: rest when i > 0 -> split (i - 1) (x :: acc) rest
+          | rest -> (List.rev acc, rest)
+        in
+        let old, recent = split (len / 2) [] cal in
+        match (old, List.rev old) with
+        | (s0, _) :: _, (_, e_last) :: _ -> (s0, e_last) :: recent
+        | _ -> cal
+      end
+    in
+    st.dram_cal <- cal;
+    fin
+  end
+
+let trip_count st trips =
+  let x =
+    List.fold_left (fun acc t -> acc *. Hw.trip_eval st.sizes t) 1.0 trips
+  in
+  Float.max 1.0 x
+
+(* One invocation of a leaf, starting at [t]; returns its finish time. *)
+let leaf st t (c : Hw.ctrl) =
+  st.events <- st.events + 1;
+  match c with
+  | Hw.Pipe { trips; par; depth; ii; dram; _ } ->
+      let iters = trip_count st trips in
+      let compute =
+        float_of_int depth
+        +. (ceil (iters /. float_of_int (Int.max 1 par)) *. float_of_int ii)
+      in
+      let mem_end =
+        List.fold_left
+          (fun acc da ->
+            let words = Simulate.direct_words st.machine st.sizes da in
+            let cyc, words =
+              match da.Hw.da_kind with
+              | `Cached ->
+                  let fp =
+                    Float.min (Simulate.cached_footprint st.machine st.sizes da) words
+                  in
+                  (fp /. st.machine.Machine.stream_words_per_cycle, fp)
+              | _ ->
+                  (Simulate.direct_cycles st.machine st.sizes par words da, words)
+            in
+            add st (match da.Hw.da_kind with `Write -> `W | _ -> `R)
+              (da.Hw.da_array, words);
+            Float.max acc (dram_transfer st t cyc))
+          t dram
+      in
+      Float.max (t +. compute) mem_end
+  | Hw.Tile_load { words; reuse; array; _ } ->
+      let w =
+        Hw.trip_eval st.sizes words /. float_of_int (Int.max 1 reuse)
+      in
+      add st `R (array, w);
+      dram_transfer st t
+        (st.machine.Machine.tile_latency
+        +. (w /. st.machine.Machine.stream_words_per_cycle))
+  | Hw.Tile_store { words; array; _ } ->
+      let w = Hw.trip_eval st.sizes words in
+      add st `W (array, w);
+      dram_transfer st t
+        (st.machine.Machine.tile_latency
+        +. (w /. st.machine.Machine.stream_words_per_cycle))
+  | _ -> t
+
+(* fall back to the analytic engine for an oversized subtree *)
+let analytic_fallback st t c =
+  st.fallbacks <- st.fallbacks + 1;
+  let rep =
+    Simulate.run ~machine:st.machine
+      { Hw.design_name = "sub"; mems = []; top = c; par_factor = 1 }
+      ~sizes:st.sizes
+  in
+  List.iter (fun rw -> add st `R rw) rep.Simulate.reads;
+  List.iter (fun rw -> add st `W rw) rep.Simulate.writes;
+  ignore (dram_transfer st t rep.Simulate.dram_cycles);
+  t +. rep.Simulate.cycles
+
+(* static count of controller instances a subtree would schedule *)
+let rec instance_count st (c : Hw.ctrl) =
+  match c with
+  | Hw.Pipe _ | Hw.Tile_load _ | Hw.Tile_store _ -> 1.0
+  | Hw.Seq { children; _ } | Hw.Par { children; _ } ->
+      List.fold_left (fun acc ch -> acc +. instance_count st ch) 1.0 children
+  | Hw.Loop { trips; stages; _ } ->
+      let per_iter =
+        List.fold_left (fun acc ch -> acc +. instance_count st ch) 1.0 stages
+      in
+      1.0 +. (trip_count st trips *. per_iter)
+
+let rec exec st t (c : Hw.ctrl) =
+  match c with
+  | Hw.Pipe _ | Hw.Tile_load _ | Hw.Tile_store _ -> leaf st t c
+  | Hw.Seq { children; _ } ->
+      List.fold_left (fun now ch -> exec st now ch) t children
+  | Hw.Par { children; _ } ->
+      (* all start together; the DRAM queue serializes their transfers in
+         list order *)
+      List.fold_left (fun fin ch -> Float.max fin (exec st t ch)) t children
+  | Hw.Loop { trips; meta; stages; _ } ->
+      if instance_count st c > float_of_int max_events then
+        analytic_fallback st t c
+      else begin
+        let iters = int_of_float (trip_count st trips) in
+        if (not meta) || List.length stages <= 1 then begin
+          let now = ref t in
+          for _ = 1 to iters do
+            List.iter (fun s -> now := exec st !now s) stages
+          done;
+          !now
+        end
+        else begin
+          (* metapipeline: stage s of iteration i waits for stage s-1 of
+             iteration i and for its own iteration i-1 (double buffer) *)
+          let nstages = List.length stages in
+          let avail = Array.make nstages t in
+          let finish_last = ref t in
+          for _i = 1 to iters do
+            let prev_done = ref t in
+            List.iteri
+              (fun s stage ->
+                let start = Float.max !prev_done avail.(s) in
+                let fin = exec st start stage in
+                avail.(s) <- fin;
+                prev_done := fin;
+                if s = nstages - 1 then finish_last := fin)
+              stages
+          done;
+          !finish_last
+        end
+      end
+
+let run ?(machine = Machine.default) (d : Hw.design) ~sizes =
+  let st =
+    { machine; sizes; dram_cal = []; dram_busy = 0.0; events = 0;
+      fallbacks = 0; reads = []; writes = [] }
+  in
+  let fin = exec st 0.0 d.Hw.top in
+  { report =
+      { Simulate.cycles = fin;
+        dram_cycles = st.dram_busy;
+        reads = List.sort compare st.reads;
+        writes = List.sort compare st.writes };
+    events = st.events;
+    fallbacks = st.fallbacks }

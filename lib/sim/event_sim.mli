@@ -1,0 +1,31 @@
+(** Event-level simulation of a hardware design.
+
+    Where {!Simulate} composes closed-form cycle counts, this engine
+    schedules every controller {e instance} (each loop iteration of each
+    stage) on a virtual timeline with two structural constraints the
+    analytic model only approximates:
+
+    - {b double buffering}: stage [s] of metapipeline iteration [i] starts
+      only once stage [s-1] has finished iteration [i] {e and} stage [s]
+      itself has finished iteration [i-1];
+    - {b DRAM serialization}: all tile load/store units and direct-access
+      streams contend for one memory interface, granted in request order.
+
+    Agreement between the two engines (checked in the test suite) validates
+    the analytic metapipeline formula [fill + (trips-1) * max(slowest
+    stage, sum of memory stages)] that Fig. 7 rests on.
+
+    Designs whose loop structure exceeds {!val:max_events} controller
+    instances fall back to the analytic engine for the offending subtree
+    (reported in {!result}); none of the paper's designs do. *)
+
+type result = {
+  report : Simulate.report;
+  events : int;  (** controller instances scheduled *)
+  fallbacks : int;  (** subtrees beyond the event budget, analytic *)
+}
+
+val max_events : int
+
+val run :
+  ?machine:Machine.t -> Hw.design -> sizes:(Sym.t * int) list -> result

@@ -1,0 +1,26 @@
+type t = {
+  clock_mhz : float;
+  stream_words_per_cycle : float;
+  burst_words : int;
+  long_burst_cost : float;
+  short_row_cost : float;
+  noncontig_group_cost : float;
+  nonaffine_access_cost : float;
+  tile_latency : float;
+  word_bytes : int;
+  stream_cache_bytes : int;
+}
+
+let default =
+  { clock_mhz = 150.0;
+    stream_words_per_cycle = 8.0;
+    burst_words = 96;
+    long_burst_cost = 20.0;
+    short_row_cost = 16.0;
+    noncontig_group_cost = 4.0;
+    nonaffine_access_cost = 8.0;
+    tile_latency = 100.0;
+    word_bytes = 4;
+    stream_cache_bytes = 16 * 1024 }
+
+let seconds t cycles = cycles /. (t.clock_mhz *. 1e6)

@@ -1,0 +1,35 @@
+(** Machine model of the evaluation platform (Section 6.1): an Altera
+    Stratix V on a Max4 Maia board — 48 GB DDR3, 76.8 GB/s peak, 384-byte
+    bursts, FPGA designs clocked at 150 MHz.
+
+    Tile load/store units stream prefetched sequential data at sustained
+    stream bandwidth with one request latency per tile.  Direct accesses —
+    how the burst-locality baseline of Section 6.1 and non-affine accesses
+    touch memory — pay per-request costs that depend on the access shape:
+
+    - long sequential runs (at least one burst) are prefetch-friendly and
+      pay a small per-burst scheduling cost;
+    - short rows (shorter than a burst, e.g. one matrix row per outer
+      iteration) pay a page-hit-latency cost per row;
+    - regular non-contiguous accesses (strided columns) are grouped over
+      the vector width and pay a pipelined request cost per group;
+    - data-dependent (non-affine) accesses pay an unpipelined request per
+      vector group — unless the design allocated a cache for them. *)
+
+type t = {
+  clock_mhz : float;
+  stream_words_per_cycle : float;  (** sustained streaming words/cycle *)
+  burst_words : int;  (** words per DRAM burst (384 B / 4 B) *)
+  long_burst_cost : float;  (** cycles/burst for long sequential runs *)
+  short_row_cost : float;  (** cycles/row for sub-burst rows *)
+  noncontig_group_cost : float;  (** cycles per vector group, strided *)
+  nonaffine_access_cost : float;  (** cycles per vector group, data-dependent *)
+  tile_latency : float;  (** request latency per tile transfer *)
+  word_bytes : int;
+  stream_cache_bytes : int;
+      (** burst-locality reuse window: an address-independent loop
+          re-reads only when its inner footprint exceeds this *)
+}
+
+val default : t
+val seconds : t -> float -> float

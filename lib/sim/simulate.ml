@@ -1,0 +1,325 @@
+type traffic = (string * float) list
+
+type report = {
+  cycles : float;
+  dram_cycles : float;
+  reads : traffic;
+  writes : traffic;
+}
+
+let add_traffic t (arr, words) =
+  let rec go = function
+    | [] -> [ (arr, words) ]
+    | (a, w) :: rest when a = arr -> (a, w +. words) :: rest
+    | x :: rest -> x :: go rest
+  in
+  go t
+
+let merge_traffic a b = List.fold_left add_traffic a b
+let scale_traffic f t = List.map (fun (a, w) -> (a, f *. w)) t
+
+(* per-invocation result of one controller *)
+type node_res = {
+  n_cycles : float;
+  n_dram : float;
+  n_reads : traffic;
+  n_writes : traffic;
+}
+
+let zero = { n_cycles = 0.0; n_dram = 0.0; n_reads = []; n_writes = [] }
+
+let seq_compose a b =
+  { n_cycles = a.n_cycles +. b.n_cycles;
+    n_dram = a.n_dram +. b.n_dram;
+    n_reads = merge_traffic a.n_reads b.n_reads;
+    n_writes = merge_traffic a.n_writes b.n_writes }
+
+(* Direct-access traffic: outermost-in, dependent loops multiply; an
+   independent loop multiplies only when the footprint beneath it exceeds
+   the stream cache. *)
+let direct_words (m : Machine.t) sizes (da : Hw.dram_access) =
+  let rec go = function
+    | [] -> 1.0
+    | (trip, dep) :: rest ->
+        let inner = go rest in
+        let t = Hw.trip_eval sizes trip in
+        if dep then t *. inner
+        else if
+          inner *. float_of_int m.Machine.word_bytes
+          > float_of_int m.Machine.stream_cache_bytes
+        then t *. inner
+        else inner
+  in
+  go da.Hw.da_path
+
+let direct_cycles (m : Machine.t) sizes par words (da : Hw.dram_access) =
+  let transfer = words /. m.Machine.stream_words_per_cycle in
+  let group = float_of_int (Int.max 1 par) in
+  let requests =
+    if not da.Hw.da_affine then
+      (* data-dependent: one request per vector group of *iterations* —
+         the address changes unpredictably every cycle *)
+      let iters =
+        List.fold_left
+          (fun acc (t, _) -> acc *. Hw.trip_eval sizes t)
+          1.0 da.Hw.da_path
+      in
+      iters /. group *. m.Machine.nonaffine_access_cost
+    else if not da.Hw.da_contiguous then
+      words /. group *. m.Machine.noncontig_group_cost
+    else
+      let row = Float.max 1.0 (Hw.trip_eval sizes da.Hw.da_row_words) in
+      if row >= float_of_int m.Machine.burst_words then
+        (* long sequential run: prefetch-friendly *)
+        words /. float_of_int m.Machine.burst_words *. m.Machine.long_burst_cost
+      else words /. row *. m.Machine.short_row_cost
+  in
+  Float.max transfer requests
+
+(* compulsory words for a cache-served access: a cache captures the reuse,
+   so only the dependent extents are fetched *)
+let cached_footprint (_m : Machine.t) sizes (da : Hw.dram_access) =
+  let rec go = function
+    | [] -> 1.0
+    | (trip, dep) :: rest ->
+        let inner = go rest in
+        if dep then Hw.trip_eval sizes trip *. inner else inner
+  in
+  go da.Hw.da_path
+
+let rec sim (m : Machine.t) sizes (c : Hw.ctrl) : node_res =
+  match c with
+  | Hw.Seq { children; _ } ->
+      List.fold_left (fun acc ch -> seq_compose acc (sim m sizes ch)) zero
+        children
+  | Hw.Par { children; _ } ->
+      let rs = List.map (sim m sizes) children in
+      { n_cycles =
+          Float.max
+            (List.fold_left (fun acc r -> Float.max acc r.n_cycles) 0.0 rs)
+            (List.fold_left (fun acc r -> acc +. r.n_dram) 0.0 rs);
+        n_dram = List.fold_left (fun acc r -> acc +. r.n_dram) 0.0 rs;
+        n_reads =
+          List.fold_left (fun acc r -> merge_traffic acc r.n_reads) [] rs;
+        n_writes =
+          List.fold_left (fun acc r -> merge_traffic acc r.n_writes) [] rs }
+  | Hw.Loop { trips; meta; stages; _ } ->
+      let rs = List.map (sim m sizes) stages in
+      let iter =
+        List.fold_left (fun acc t -> acc *. Hw.trip_eval sizes t) 1.0 trips
+      in
+      let iter = Float.max iter 1.0 in
+      let per_iter_sum =
+        List.fold_left (fun acc r -> acc +. r.n_cycles) 0.0 rs
+      in
+      let cycles =
+        if meta && List.length rs > 1 then begin
+          (* fill once, then the steady-state bottleneck per iteration:
+             the slowest stage, but at least the DRAM serialization *)
+          let slowest =
+            List.fold_left (fun acc r -> Float.max acc r.n_cycles) 0.0 rs
+          in
+          let dram_sum = List.fold_left (fun acc r -> acc +. r.n_dram) 0.0 rs in
+          per_iter_sum +. ((iter -. 1.0) *. Float.max slowest dram_sum)
+        end
+        else iter *. per_iter_sum
+      in
+      { n_cycles = cycles;
+        n_dram =
+          iter *. List.fold_left (fun acc r -> acc +. r.n_dram) 0.0 rs;
+        n_reads =
+          scale_traffic iter
+            (List.fold_left (fun acc r -> merge_traffic acc r.n_reads) [] rs);
+        n_writes =
+          scale_traffic iter
+            (List.fold_left (fun acc r -> merge_traffic acc r.n_writes) [] rs)
+      }
+  | Hw.Pipe { trips; par; depth; ii; dram; _ } ->
+      let iters =
+        List.fold_left (fun acc t -> acc *. Hw.trip_eval sizes t) 1.0 trips
+      in
+      let compute =
+        float_of_int depth
+        +. (ceil (iters /. float_of_int (Int.max 1 par)) *. float_of_int ii)
+      in
+      let dram_res =
+        List.fold_left
+          (fun acc da ->
+            let words = direct_words m sizes da in
+            let cyc = direct_cycles m sizes par words da in
+            let acc = { acc with n_dram = acc.n_dram +. cyc } in
+            match da.Hw.da_kind with
+            | `Read ->
+                { acc with n_reads = add_traffic acc.n_reads (da.Hw.da_array, words) }
+            | `Cached ->
+                let fp = Float.min (cached_footprint m sizes da) words in
+                { acc with
+                  n_dram = acc.n_dram -. cyc +. (fp /. m.Machine.stream_words_per_cycle);
+                  n_reads = add_traffic acc.n_reads (da.Hw.da_array, fp) }
+            | `Write ->
+                { acc with n_writes = add_traffic acc.n_writes (da.Hw.da_array, words) })
+          zero dram
+      in
+      { n_cycles = Float.max compute dram_res.n_dram;
+        n_dram = dram_res.n_dram;
+        n_reads = dram_res.n_reads;
+        n_writes = dram_res.n_writes }
+  | Hw.Tile_load { words; reuse; array; _ } ->
+      let w = Hw.trip_eval sizes words /. float_of_int (Int.max 1 reuse) in
+      let cyc = m.Machine.tile_latency +. (w /. m.Machine.stream_words_per_cycle) in
+      { n_cycles = cyc; n_dram = cyc; n_reads = [ (array, w) ]; n_writes = [] }
+  | Hw.Tile_store { words; array; _ } ->
+      let w = Hw.trip_eval sizes words in
+      let cyc = m.Machine.tile_latency +. (w /. m.Machine.stream_words_per_cycle) in
+      { n_cycles = cyc; n_dram = cyc; n_reads = []; n_writes = [ (array, w) ] }
+
+let run ?(machine = Machine.default) (d : Hw.design) ~sizes =
+  let r = sim machine sizes d.Hw.top in
+  { cycles = r.n_cycles;
+    dram_cycles = r.n_dram;
+    reads = List.sort compare r.n_reads;
+    writes = List.sort compare r.n_writes }
+
+(* ------------------------- breakdown ------------------------------- *)
+
+type breakdown_row = {
+  br_name : string;
+  br_depth : int;
+  br_kind : string;
+  br_cycles : float;
+  br_invocations : float;
+}
+
+let kind_of = function
+  | Hw.Seq _ -> "sequential"
+  | Hw.Par _ -> "parallel"
+  | Hw.Loop { meta = true; _ } -> "metapipeline"
+  | Hw.Loop _ -> "loop"
+  | Hw.Pipe { template; _ } -> (
+      match template with
+      | Hw.Vector -> "pipe/vector"
+      | Hw.Tree -> "pipe/tree"
+      | Hw.Fifo_write -> "pipe/fifo"
+      | Hw.Cam_update -> "pipe/cam"
+      | Hw.Scalar_unit -> "pipe/scalar")
+  | Hw.Tile_load _ -> "tile-load"
+  | Hw.Tile_store _ -> "tile-store"
+
+let breakdown ?(machine = Machine.default) (d : Hw.design) ~sizes =
+  let rows = ref [] in
+  let rec go depth invocations c =
+    let r = sim machine sizes c in
+    rows :=
+      { br_name = Hw.ctrl_name c;
+        br_depth = depth;
+        br_kind = kind_of c;
+        br_cycles = r.n_cycles;
+        br_invocations = invocations }
+      :: !rows;
+    let child_invocations =
+      match c with
+      | Hw.Loop { trips; _ } ->
+          invocations
+          *. Float.max 1.0
+               (List.fold_left
+                  (fun acc t -> acc *. Hw.trip_eval sizes t)
+                  1.0 trips)
+      | _ -> invocations
+    in
+    List.iter (go (depth + 1) child_invocations) (Hw.children c)
+  in
+  go 0 1.0 d.Hw.top;
+  List.rev !rows
+
+let pp_breakdown fmt rows =
+  Format.fprintf fmt "%-34s %-14s %14s %12s@." "controller" "kind"
+    "cycles/invoc" "invocations";
+  List.iter
+    (fun r ->
+      Format.fprintf fmt "%s%-*s %-14s %14.0f %12.0f@."
+        (String.make (2 * r.br_depth) ' ')
+        (34 - (2 * r.br_depth))
+        r.br_name r.br_kind r.br_cycles r.br_invocations)
+    rows
+
+(* ------------------------- bottlenecks ----------------------------- *)
+
+type bottleneck_row = {
+  bn_loop : string;
+  bn_iters : float;
+  bn_stage : string;
+  bn_stage_cycles : float;
+  bn_dram_sum : float;
+  bn_bound : [ `Stage | `Dram ];
+  bn_frac : float;
+}
+
+let bottlenecks ?(machine = Machine.default) (d : Hw.design) ~sizes =
+  let rows = ref [] in
+  Hw.iter_ctrls
+    (fun c ->
+      match c with
+      | Hw.Loop { name; trips; meta = true; stages } when List.length stages > 1
+        ->
+          let rs = List.map (fun s -> (Hw.ctrl_name s, sim machine sizes s)) stages in
+          let iters =
+            Float.max 1.0
+              (List.fold_left
+                 (fun acc t -> acc *. Hw.trip_eval sizes t)
+                 1.0 trips)
+          in
+          let slow_name, slow =
+            List.fold_left
+              (fun ((_, sc) as best) ((_, r) as cand) ->
+                if r.n_cycles > sc.n_cycles then cand else best)
+              (List.hd rs) (List.tl rs)
+          in
+          let dram_sum =
+            List.fold_left (fun acc (_, r) -> acc +. r.n_dram) 0.0 rs
+          in
+          let steady = Float.max slow.n_cycles dram_sum in
+          rows :=
+            { bn_loop = name;
+              bn_iters = iters;
+              bn_stage = slow_name;
+              bn_stage_cycles = slow.n_cycles;
+              bn_dram_sum = dram_sum;
+              bn_bound = (if slow.n_cycles >= dram_sum then `Stage else `Dram);
+              bn_frac = (if steady > 0.0 then slow.n_cycles /. steady else 1.0)
+            }
+            :: !rows
+      | _ -> ())
+    d.Hw.top;
+  List.rev !rows
+
+let pp_bottlenecks fmt rows =
+  Format.fprintf fmt "%-22s %10s  %-28s %12s %12s  %s@." "metapipeline" "iters"
+    "slowest stage" "stage cyc" "dram sum" "steady-state bound";
+  List.iter
+    (fun r ->
+      Format.fprintf fmt "%-22s %10.0f  %-28s %12.0f %12.0f  %s@." r.bn_loop
+        r.bn_iters r.bn_stage r.bn_stage_cycles r.bn_dram_sum
+        (match r.bn_bound with
+        | `Stage ->
+            Printf.sprintf "compute (stage is %.0f%% of steady state)"
+              (100.0 *. r.bn_frac)
+        | `Dram -> "DRAM serialization"))
+    rows
+
+let read_words r arr =
+  match List.assoc_opt arr r.reads with Some w -> w | None -> 0.0
+
+let written_words r arr =
+  match List.assoc_opt arr r.writes with Some w -> w | None -> 0.0
+
+let total_read r = List.fold_left (fun acc (_, w) -> acc +. w) 0.0 r.reads
+let total_written r = List.fold_left (fun acc (_, w) -> acc +. w) 0.0 r.writes
+
+let pp_report fmt r =
+  Format.fprintf fmt "cycles: %.0f (dram-busy %.0f)@." r.cycles r.dram_cycles;
+  List.iter
+    (fun (a, w) -> Format.fprintf fmt "  read  %-16s %12.0f words@." a w)
+    r.reads;
+  List.iter
+    (fun (a, w) -> Format.fprintf fmt "  write %-16s %12.0f words@." a w)
+    r.writes

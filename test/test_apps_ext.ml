@@ -1,0 +1,231 @@
+(* Extension applications (blackscholes, matvec) and the extended suite:
+   reference semantics, tiling equivalence, and the expected performance
+   shape of each addition. *)
+
+let value_eq = Value.equal ~eps:1e-6
+
+(* ---------------- blackscholes ---------------- *)
+
+let test_blackscholes_reference () =
+  let t = Blackscholes.make () in
+  let n = 40 in
+  let s, k, tm = Blackscholes.raw_inputs ~seed:7 ~n in
+  let v =
+    Eval.eval_program t.Blackscholes.prog
+      ~sizes:[ (t.Blackscholes.n, n) ]
+      ~inputs:(Blackscholes.gen_inputs t ~seed:7 ~n)
+  in
+  let expected =
+    Value.Arr
+      (Ndarray.init [ n ] (function
+        | [ i ] ->
+            Value.F (Blackscholes.reference ~sptprice:s ~strike:k ~time:tm).(i)
+        | _ -> assert false))
+  in
+  Alcotest.(check bool) "prices" true (value_eq expected v)
+
+let test_blackscholes_prices_sane () =
+  (* a call is worth about [0, spot]; the branch-free logistic CND trades
+     a little tail accuracy for a straight-line datapath, so allow a
+     small negative slack for deep out-of-the-money options *)
+  let s, k, tm = Blackscholes.raw_inputs ~seed:3 ~n:200 in
+  let prices = Blackscholes.reference ~sptprice:s ~strike:k ~time:tm in
+  Array.iteri
+    (fun i p ->
+      if p < -0.01 *. s.(i) || p > s.(i) +. 1e-9 then
+        Alcotest.failf "price %d out of range: %f (spot %f)" i p s.(i))
+    prices
+
+let test_blackscholes_streaming_shape () =
+  (* like outerprod: every word is used once, so tiling cannot win *)
+  let b = Suite.find (Suite.extended ()) "blackscholes" in
+  let base = Experiments.design_of Experiments.Baseline b in
+  let meta = Experiments.design_of Experiments.Tiled_meta b in
+  let c d = (Simulate.run d ~sizes:b.Suite.sim_sizes).Simulate.cycles in
+  let speedup = c base /. c meta in
+  Alcotest.(check bool)
+    (Printf.sprintf "streaming stays ~flat (got %.2fx)" speedup)
+    true
+    (speedup < 3.0)
+
+let test_blackscholes_deep_datapath () =
+  (* the option-price pipe is much deeper than e.g. outerprod's multiply *)
+  let deepest bench_name =
+    let b = Suite.find (Suite.extended ()) bench_name in
+    let d = Experiments.design_of Experiments.Tiled_meta b in
+    Hw.fold_ctrls
+      (fun acc c ->
+        match c with Hw.Pipe { depth; _ } -> Int.max acc depth | _ -> acc)
+      0 d.Hw.top
+  in
+  let bs = deepest "blackscholes" and op = deepest "outerprod" in
+  Alcotest.(check bool)
+    (Printf.sprintf "blackscholes depth %d > outerprod depth %d" bs op)
+    true (bs > op)
+
+(* ---------------- matvec ---------------- *)
+
+let test_matvec_reference () =
+  let t = Matvec.make () in
+  let m = 9 and n = 13 in
+  let a, x = Matvec.raw_inputs ~seed:5 ~m ~n in
+  let v =
+    Eval.eval_program t.Matvec.prog
+      ~sizes:[ (t.Matvec.m, m); (t.Matvec.n, n) ]
+      ~inputs:(Matvec.gen_inputs t ~seed:5 ~m ~n)
+  in
+  let expected =
+    Value.Arr
+      (Ndarray.init [ m ] (function
+        | [ i ] -> Value.F (Matvec.reference ~a ~x).(i)
+        | _ -> assert false))
+  in
+  Alcotest.(check bool) "product" true (value_eq expected v)
+
+let prop_matvec_tiling_preserves =
+  QCheck.Test.make ~name:"matvec: tiling preserves semantics" ~count:25
+    QCheck.(
+      quad (int_range 1 24) (int_range 1 24) (int_range 1 8) (int_range 1 8))
+    (fun (m, n, b0, b1) ->
+      let t = Matvec.make () in
+      let r =
+        Tiling.run
+          ~tiles:[ (t.Matvec.m, b0); (t.Matvec.n, b1) ]
+          t.Matvec.prog
+      in
+      let sizes = [ (t.Matvec.m, m); (t.Matvec.n, n) ] in
+      let inputs = Matvec.gen_inputs t ~seed:(m + (31 * n)) ~m ~n in
+      value_eq
+        (Eval.eval_program t.Matvec.prog ~sizes ~inputs)
+        (Eval.eval_program r.Tiling.tiled ~sizes ~inputs))
+
+let test_matvec_vector_reuse () =
+  (* tiling drops the x traffic by the row-tile factor: a streams once,
+     x is re-read per row without tiling but once per column tile with *)
+  let b = Suite.find (Suite.extended ()) "matvec" in
+  let base = Experiments.design_of Experiments.Baseline b in
+  let meta = Experiments.design_of Experiments.Tiled_meta b in
+  let words d = Simulate.read_words (Simulate.run d ~sizes:b.Suite.sim_sizes) "x" in
+  let wb = words base and wm = words meta in
+  Alcotest.(check bool)
+    (Printf.sprintf "x words drop (baseline %.0f vs tiled %.0f)" wb wm)
+    true
+    (wm *. 4.0 < wb)
+
+let test_matvec_tiled_wins () =
+  let b = Suite.find (Suite.extended ()) "matvec" in
+  let base = Experiments.design_of Experiments.Baseline b in
+  let meta = Experiments.design_of Experiments.Tiled_meta b in
+  let c d = (Simulate.run d ~sizes:b.Suite.sim_sizes).Simulate.cycles in
+  let speedup = c base /. c meta in
+  Alcotest.(check bool)
+    (Printf.sprintf "tiled speedup > 1.2 (got %.2fx)" speedup)
+    true (speedup > 1.2)
+
+(* ---------------- spmv ---------------- *)
+
+let test_spmv_reference () =
+  let t = Spmv.make () in
+  let m = 17 and n = 11 and nnz = 64 in
+  let rowptr, cols, vals, x = Spmv.raw_inputs ~seed:21 ~m ~n ~nnz in
+  let v =
+    Eval.eval_program t.Spmv.prog
+      ~sizes:[ (t.Spmv.m, m); (t.Spmv.n, n); (t.Spmv.nnz, nnz) ]
+      ~inputs:(Spmv.gen_inputs t ~seed:21 ~m ~n ~nnz)
+  in
+  let expected =
+    Value.Arr
+      (Ndarray.init [ m ] (function
+        | [ r ] -> Value.F (Spmv.reference ~rowptr ~cols ~vals ~x).(r)
+        | _ -> assert false))
+  in
+  Alcotest.(check bool) "product" true (value_eq expected v)
+
+let prop_spmv_tiling_preserves =
+  QCheck.Test.make ~name:"spmv: tiling preserves semantics" ~count:25
+    QCheck.(triple (int_range 1 24) (int_range 1 12) (int_range 1 8))
+    (fun (m, n, b0) ->
+      let t = Spmv.make () in
+      let nnz = 4 * m in
+      let r = Tiling.run ~tiles:[ (t.Spmv.m, b0) ] t.Spmv.prog in
+      let sizes = [ (t.Spmv.m, m); (t.Spmv.n, n); (t.Spmv.nnz, nnz) ] in
+      let inputs = Spmv.gen_inputs t ~seed:(m + (17 * n)) ~m ~n ~nnz in
+      value_eq
+        (Eval.eval_program t.Spmv.prog ~sizes ~inputs)
+        (Eval.eval_program r.Tiling.tiled ~sizes ~inputs))
+
+let test_spmv_gather_gets_cache () =
+  (* the indirect x(cols(k)) gather — untouched by tiling — is served by
+     an allocated cache, the paper's generality claim in hardware *)
+  let b = Suite.find (Suite.extended ()) "spmv" in
+  let d = Experiments.design_of Experiments.Tiled_meta b in
+  Alcotest.(check bool) "cache allocated" true
+    (List.exists (fun m -> m.Hw.kind = Hw.Cache) d.Hw.mems);
+  (* and the row-pointer windows became tile buffers *)
+  Alcotest.(check bool) "rowptr tiled" true
+    (List.exists
+       (fun m ->
+         String.length m.Hw.mem_name >= 10
+         && String.sub m.Hw.mem_name 0 10 = "rowptrTile")
+       d.Hw.mems)
+
+(* ---------------- extended suite, end to end ---------------- *)
+
+let test_extended_pipeline_equivalence () =
+  List.iter
+    (fun (b : Suite.bench) ->
+      let r = Tiling.run ~tiles:b.Suite.tiles b.Suite.prog in
+      let sizes = b.Suite.test_sizes in
+      let inputs = b.Suite.gen ~sizes ~seed:99 in
+      let reference = Eval.eval_program b.Suite.prog ~sizes ~inputs in
+      let v = Eval.eval_program r.Tiling.tiled ~sizes ~inputs in
+      Alcotest.(check bool) (b.Suite.name ^ " tiled = source") true
+        (value_eq reference v);
+      (* chunked evaluation exercises every combine the tiling generated *)
+      let vc =
+        Eval.eval_program ~mode:(Eval.Chunked 3) r.Tiling.tiled ~sizes ~inputs
+      in
+      Alcotest.(check bool) (b.Suite.name ^ " chunked") true
+        (value_eq reference vc))
+    (Suite.extended ())
+
+let test_extended_designs_fit () =
+  List.iter
+    (fun (b : Suite.bench) ->
+      let d = Experiments.design_of Experiments.Tiled_meta b in
+      Alcotest.(check bool) (b.Suite.name ^ " fits") true
+        (Area_model.fits (Area_model.of_design d)))
+    (Suite.extended ())
+
+let test_extended_names_unique () =
+  let names = List.map (fun b -> b.Suite.name) (Suite.extended ()) in
+  Alcotest.(check int) "no duplicate names"
+    (List.length names)
+    (List.length (List.sort_uniq compare names))
+
+let () =
+  Alcotest.run "apps_ext"
+    [ ( "blackscholes",
+        [ Alcotest.test_case "matches reference" `Quick
+            test_blackscholes_reference;
+          Alcotest.test_case "prices sane" `Quick test_blackscholes_prices_sane;
+          Alcotest.test_case "streaming stays flat" `Quick
+            test_blackscholes_streaming_shape;
+          Alcotest.test_case "deep datapath" `Quick
+            test_blackscholes_deep_datapath ] );
+      ( "matvec",
+        [ Alcotest.test_case "matches reference" `Quick test_matvec_reference;
+          QCheck_alcotest.to_alcotest prop_matvec_tiling_preserves;
+          Alcotest.test_case "vector reuse" `Quick test_matvec_vector_reuse;
+          Alcotest.test_case "tiled wins" `Quick test_matvec_tiled_wins ] );
+      ( "spmv",
+        [ Alcotest.test_case "matches reference" `Quick test_spmv_reference;
+          QCheck_alcotest.to_alcotest prop_spmv_tiling_preserves;
+          Alcotest.test_case "gather gets a cache" `Quick
+            test_spmv_gather_gets_cache ] );
+      ( "extended suite",
+        [ Alcotest.test_case "pipeline equivalence" `Quick
+            test_extended_pipeline_equivalence;
+          Alcotest.test_case "designs fit" `Quick test_extended_designs_fit;
+          Alcotest.test_case "names unique" `Quick test_extended_names_unique
+        ] ) ]

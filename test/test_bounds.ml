@@ -1,0 +1,92 @@
+(* Static bounds verification: every tiled benchmark's tile copies are
+   proven in range; deliberate violations are caught; data-dependent
+   accesses report unknown (and are exactly the cache-served ones). *)
+
+open Dsl
+
+let is_safe f = f.Bounds.verdict = Bounds.Safe
+
+let test_tiled_suite_proven () =
+  List.iter
+    (fun bench ->
+      let r = Tiling.run ~tiles:bench.Suite.tiles bench.Suite.prog in
+      let fs = Bounds.check_program r.Tiling.tiled in
+      Alcotest.(check int)
+        (bench.Suite.name ^ ": no violations")
+        0
+        (List.length (Bounds.violations fs));
+      (* everything except gda's data-dependent mu reads proves safe *)
+      let expected_unknown = if bench.Suite.name = "gda" then 2 else 0 in
+      Alcotest.(check int)
+        (bench.Suite.name ^ ": unknowns")
+        expected_unknown
+        (List.length (Bounds.unproven fs)))
+    (Suite.all ())
+
+let test_untiled_reads_proven () =
+  (* direct reads at plain loop indices prove too *)
+  let b = Suite.find (Suite.all ()) "gemm" in
+  let fs = Bounds.check_program b.Suite.prog in
+  Alcotest.(check bool) "all safe" true (List.for_all is_safe fs);
+  Alcotest.(check bool) "covers both inputs" true (List.length fs >= 2)
+
+let test_constant_violation_detected () =
+  let n = size "n" in
+  let x = input "x" Ty.float_ [ i 4 ] in
+  let prog =
+    program ~name:"oob" ~sizes:[ n ] ~inputs:[ x ]
+      (read (in_var x) [ i 7 ])
+  in
+  let fs = Bounds.check_program prog in
+  Alcotest.(check int) "violation found" 1 (List.length (Bounds.violations fs))
+
+let test_negative_offset_detected () =
+  let n = size "n" in
+  let x = input "x" Ty.float_ [ Ir.Var n ] in
+  let prog =
+    program ~name:"neg" ~sizes:[ n ] ~inputs:[ x ]
+      (read (in_var x) [ i (-1) ])
+  in
+  let fs = Bounds.check_program prog in
+  Alcotest.(check int) "negative index" 1 (List.length (Bounds.violations fs))
+
+let test_off_by_one_unproven () =
+  (* reading x(i+1) over the full domain is out of range; with symbolic
+     sizes the checker cannot prove it safe (and must not) *)
+  let n = size "n" in
+  let x = input "x" Ty.float_ [ Ir.Var n ] in
+  let prog =
+    program ~name:"ob1" ~sizes:[ n ] ~inputs:[ x ]
+      (map1 (dfull (Ir.Var n)) (fun idx -> read (in_var x) [ idx +! i 1 ]))
+  in
+  let fs = Bounds.check_program prog in
+  Alcotest.(check bool) "not proven safe" true
+    (not (List.for_all is_safe fs))
+
+let test_halo_proven () =
+  (* convolution reads x(i + w) with x declared n + taps - 1 long: the
+     halo makes it safe, and the checker sees that *)
+  let t = Conv2d.make () in
+  let fs = Bounds.check_program t.Conv2d.prog in
+  Alcotest.(check bool) "conv2d safe" true (List.for_all is_safe fs);
+  (* and the tiled version *)
+  let r =
+    Tiling.run ~tiles:[ (t.Conv2d.h, 16); (t.Conv2d.w, 16) ] t.Conv2d.prog
+  in
+  let fs' = Bounds.check_program r.Tiling.tiled in
+  Alcotest.(check int) "tiled conv2d: no violations" 0
+    (List.length (Bounds.violations fs'))
+
+let () =
+  Alcotest.run "bounds"
+    [ ( "bounds",
+        [ Alcotest.test_case "tiled suite proven" `Quick test_tiled_suite_proven;
+          Alcotest.test_case "untiled reads proven" `Quick
+            test_untiled_reads_proven;
+          Alcotest.test_case "constant violation" `Quick
+            test_constant_violation_detected;
+          Alcotest.test_case "negative index" `Quick
+            test_negative_offset_detected;
+          Alcotest.test_case "off-by-one unproven" `Quick
+            test_off_by_one_unproven;
+          Alcotest.test_case "halo proven" `Quick test_halo_proven ] ) ]

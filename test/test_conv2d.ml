@@ -1,0 +1,89 @@
+(* 2-D convolution: multidimensional Fold domains and two-dimensional
+   sliding-window tile copies. *)
+
+let value_eq = Value.equal ~eps:1e-5
+
+let test_reference () =
+  let t = Conv2d.make () in
+  let h = 9 and w = 7 in
+  let img, kernel = Conv2d.raw_inputs t ~seed:4 ~h ~w in
+  let v =
+    Eval.eval_program t.Conv2d.prog
+      ~sizes:[ (t.Conv2d.h, h); (t.Conv2d.w, w) ]
+      ~inputs:(Conv2d.gen_inputs t ~seed:4 ~h ~w)
+  in
+  Alcotest.(check bool) "matches reference" true
+    (value_eq (Workloads.value_of_matrix (Conv2d.reference ~img ~kernel ~h ~w)) v)
+
+let test_tiled_equivalence () =
+  let t = Conv2d.make ~kh:3 ~kw:5 () in
+  List.iter
+    (fun (h, w, bh, bw) ->
+      let tiles = [ (t.Conv2d.h, bh); (t.Conv2d.w, bw) ] in
+      let r = Tiling.run ~tiles t.Conv2d.prog in
+      ignore (Validate.check_program r.Tiling.tiled);
+      let sizes = [ (t.Conv2d.h, h); (t.Conv2d.w, w) ] in
+      let inputs = Conv2d.gen_inputs t ~seed:9 ~h ~w in
+      let expected = Eval.eval_program t.Conv2d.prog ~sizes ~inputs in
+      let actual = Eval.eval_program r.Tiling.tiled ~sizes ~inputs in
+      if not (value_eq expected actual) then
+        Alcotest.failf "h=%d w=%d bh=%d bw=%d mismatch" h w bh bw)
+    [ (8, 8, 4, 4); (9, 7, 4, 3); (5, 5, 8, 8); (12, 6, 5, 2) ]
+
+let test_window_copy () =
+  (* the image tile must cover the halo and carry a reuse factor *)
+  let t = Conv2d.make () in
+  let tiles = [ (t.Conv2d.h, 16); (t.Conv2d.w, 16) ] in
+  let r = Tiling.run ~tiles t.Conv2d.prog in
+  let found = ref None in
+  Rewrite.iter_exp
+    (function
+      | Ir.Copy ({ csrc = Ir.Var s; _ } as c)
+        when Sym.equal s t.Conv2d.img.Ir.iname ->
+          found := Some c
+      | _ -> ())
+    r.Tiling.tiled.Ir.body;
+  match !found with
+  | None -> Alcotest.fail "no image tile copy"
+  | Some c ->
+      Alcotest.(check bool) "reuse marked" true (c.Ir.creuse >= 2);
+      (* halo: max_len = tile + kernel - 1 in both dimensions *)
+      List.iter
+        (fun cd ->
+          match cd with
+          | Ir.Coffset { max_len = Some m; _ } ->
+              Alcotest.(check int) "tile + halo" (16 + 2) m
+          | _ -> Alcotest.fail "unexpected copy dim")
+        c.Ir.cdims
+
+let test_hardware () =
+  let t = Conv2d.make () in
+  let tiles = [ (t.Conv2d.h, 32); (t.Conv2d.w, 32) ] in
+  let r = Tiling.run ~tiles t.Conv2d.prog in
+  let d = Lower.program Lower.default_opts r.Tiling.tiled in
+  (* halo-extended tile buffer: (32+2)^2 *)
+  let tile_mem =
+    List.find_opt
+      (fun m ->
+        String.length m.Hw.mem_name >= 7
+        && String.sub m.Hw.mem_name 0 7 = "imgTile")
+      d.Hw.mems
+  in
+  (match tile_mem with
+  | Some m -> Alcotest.(check int) "halo buffer depth" (34 * 34) m.Hw.depth
+  | None -> Alcotest.fail "no image tile buffer");
+  (* reuse factor reduces simulated DRAM traffic below the naive
+     (tile+halo)^2 per-tile refetch *)
+  let sizes = [ (t.Conv2d.h, 1024); (t.Conv2d.w, 1024) ] in
+  let rep = Simulate.run d ~sizes in
+  let words = Simulate.read_words rep "img" in
+  let naive = 1024.0 /. 32.0 *. (1024.0 /. 32.0) *. (34.0 *. 34.0) in
+  Alcotest.(check bool) "reuse saves traffic" true (words < naive)
+
+let () =
+  Alcotest.run "conv2d"
+    [ ( "conv2d",
+        [ Alcotest.test_case "reference" `Quick test_reference;
+          Alcotest.test_case "tiled equivalence" `Quick test_tiled_equivalence;
+          Alcotest.test_case "window copy" `Quick test_window_copy;
+          Alcotest.test_case "hardware" `Quick test_hardware ] ) ]

@@ -1,0 +1,103 @@
+(* Automated tile-size selection (the paper's future-work DSE loop). *)
+
+let test_best_is_fastest_feasible () =
+  let bench = Suite.find (Suite.all ()) "gemm" in
+  let r = Dse.explore_bench bench in
+  match r.Dse.best with
+  | None -> Alcotest.fail "no feasible point"
+  | Some best ->
+      Alcotest.(check bool) "best is feasible" true best.Dse.feasible;
+      List.iter
+        (fun p ->
+          if p.Dse.feasible then
+            Alcotest.(check bool) "best is fastest feasible" true
+              (best.Dse.cycles <= p.Dse.cycles +. 1e-6))
+        r.Dse.points
+
+let test_points_sorted () =
+  let bench = Suite.find (Suite.all ()) "kmeans" in
+  let r = Dse.explore_bench bench in
+  let rec sorted = function
+    | a :: (b :: _ as rest) -> a.Dse.cycles <= b.Dse.cycles && sorted rest
+    | _ -> true
+  in
+  Alcotest.(check bool) "sorted by cycles" true (sorted r.Dse.points);
+  Alcotest.(check bool) "several points" true (List.length r.Dse.points >= 9)
+
+let test_budget_excludes () =
+  (* an absurdly small budget leaves no feasible point *)
+  let bench = Suite.find (Suite.all ()) "gemm" in
+  let r = Dse.explore_bench ~bram_budget:1.0 bench in
+  Alcotest.(check bool) "nothing feasible" true (r.Dse.best = None);
+  List.iter
+    (fun p -> Alcotest.(check bool) "marked infeasible" false p.Dse.feasible)
+    r.Dse.points
+
+let test_budget_tradeoff () =
+  (* a tight (but achievable) budget can only make the selected design
+     slower or equal *)
+  let bench = Suite.find (Suite.all ()) "gemm" in
+  let loose = Dse.explore_bench ~bram_budget:4000.0 bench in
+  let tight = Dse.explore_bench ~bram_budget:700.0 bench in
+  match (loose.Dse.best, tight.Dse.best) with
+  | Some l, Some t ->
+      Alcotest.(check bool) "tight budget no faster" true
+        (t.Dse.cycles >= l.Dse.cycles -. 1e-6);
+      Alcotest.(check bool) "tight budget respected" true
+        (t.Dse.area.Area_model.bram <= 700.0)
+  | _ -> Alcotest.fail "expected feasible points at both budgets"
+
+let test_explicit_candidates () =
+  let t = Gemm.make () in
+  let r =
+    Dse.explore ~prog:t.Gemm.prog
+      ~candidates:[ (t.Gemm.m, [ 32; 64 ]); (t.Gemm.n, [ 32 ]); (t.Gemm.p, [ 16; 32 ]) ]
+      ~sizes:[ (t.Gemm.m, 512); (t.Gemm.n, 512); (t.Gemm.p, 512) ]
+      ()
+  in
+  Alcotest.(check int) "cartesian product size" 4 (List.length r.Dse.points)
+
+let test_joint_par_exploration () =
+  let bench = Suite.find (Suite.all ()) "gda" in
+  let r = Dse.explore_bench ~pars:[ 4; 16; 64 ] bench in
+  (* three par points per tile assignment *)
+  let tiles_assignments =
+    List.sort_uniq compare (List.map (fun p -> p.Dse.tiles) r.Dse.points)
+  in
+  Alcotest.(check int) "3 pars per assignment"
+    (3 * List.length tiles_assignments)
+    (List.length r.Dse.points);
+  (* on compute-bound gda, more parallelism is never slower at the same
+     tiles (the model divides iteration count by par) *)
+  List.iter
+    (fun tiles ->
+      let at par =
+        (List.find (fun p -> p.Dse.tiles = tiles && p.Dse.par = par) r.Dse.points)
+          .Dse.cycles
+      in
+      Alcotest.(check bool) "par=64 <= par=4" true (at 64 <= at 4 +. 1e-6))
+    tiles_assignments;
+  (* the selected point is still the fastest feasible *)
+  match r.Dse.best with
+  | None -> Alcotest.fail "no feasible point"
+  | Some best ->
+      List.iter
+        (fun p ->
+          if p.Dse.feasible then
+            Alcotest.(check bool) "best fastest" true
+              (best.Dse.cycles <= p.Dse.cycles +. 1e-6))
+        r.Dse.points
+
+let () =
+  Alcotest.run "dse"
+    [ ( "exploration",
+        [ Alcotest.test_case "best is fastest feasible" `Quick
+            test_best_is_fastest_feasible;
+          Alcotest.test_case "points sorted" `Quick test_points_sorted;
+          Alcotest.test_case "tiny budget excludes all" `Quick
+            test_budget_excludes;
+          Alcotest.test_case "budget tradeoff" `Quick test_budget_tradeoff;
+          Alcotest.test_case "explicit candidates" `Quick
+            test_explicit_candidates;
+          Alcotest.test_case "joint par exploration" `Quick
+            test_joint_par_exploration ] ) ]

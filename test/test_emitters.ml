@@ -1,0 +1,92 @@
+(* Emitters: the MaxJ-like kernels and DOT diagrams carry the expected
+   template vocabulary and structure per benchmark. *)
+
+let contains hay needle =
+  let nl = String.length needle and hl = String.length hay in
+  let rec go i = i + nl <= hl && (String.sub hay i nl = needle || go (i + 1)) in
+  go 0
+
+let design name = Experiments.design_of Experiments.Tiled_meta
+    (Suite.find (Suite.all ()) name)
+
+let check_all kernel needles =
+  List.iter
+    (fun n ->
+      if not (contains kernel n) then
+        Alcotest.failf "kernel missing %S" n)
+    needles
+
+let test_maxj_gemm () =
+  let k = Maxj.emit (design "gemm") in
+  check_all k
+    [ "class GemmKernel extends Kernel";
+      "control.metapipeline";
+      "mem.tileLoad(\"x\"";
+      "mem.tileLoad(\"y\"";
+      "mem.tileStore(\"result\"";
+      "compute.reductionTree";
+      "// dataflow:";
+      "mem.allocDouble" ]
+
+let test_maxj_tpchq6 () =
+  let k = Maxj.emit (design "tpchq6") in
+  check_all k
+    [ "compute.parallelFIFO"; "mem.allocFIFO"; "mem.tileLoad(\"shipdate\"" ]
+
+let test_maxj_gda_cache () =
+  let k = Maxj.emit (design "gda") in
+  check_all k [ "mem.allocCache"; "CACHED_READ" ]
+
+let test_maxj_baseline_streams () =
+  let bench = Suite.find (Suite.all ()) "kmeans" in
+  let k = Maxj.emit (Experiments.design_of Experiments.Baseline bench) in
+  check_all k [ ".dramStream(\"points\""; ".dramStream(\"centroids\"" ];
+  Alcotest.(check bool) "no tile loads in baseline" false
+    (contains k "mem.tileLoad")
+
+let test_maxj_dataflow_expression () =
+  (* the gemm pipe's dataflow comment shows the multiply-accumulate *)
+  let k = Maxj.emit (design "gemm") in
+  Alcotest.(check bool) "mac visible" true
+    (contains k "xTile" && contains k "yTile" && contains k "* yTile"
+    || contains k "* (yTile")
+
+let test_dot_structure () =
+  let d = Dot.emit (design "kmeans") in
+  check_all d
+    [ "digraph kmeans";
+      "metapipeline";
+      "cylinder";  (* DRAM nodes *)
+      "double-buffer";
+      "-> " ]
+
+let test_dot_parallel_cluster () =
+  let d = Dot.emit (design "kmeans") in
+  Alcotest.(check bool) "parallel cluster" true (contains d "(parallel)")
+
+let test_hwpp_lists_all_memories () =
+  let dsg = design "kmeans" in
+  let s = Hw_pp.design_to_string dsg in
+  List.iter
+    (fun m ->
+      if not (contains s m.Hw.mem_name) then
+        Alcotest.failf "missing memory %s" m.Hw.mem_name)
+    dsg.Hw.mems
+
+let () =
+  Alcotest.run "emitters"
+    [ ( "maxj",
+        [ Alcotest.test_case "gemm kernel" `Quick test_maxj_gemm;
+          Alcotest.test_case "tpchq6 fifo" `Quick test_maxj_tpchq6;
+          Alcotest.test_case "gda cache" `Quick test_maxj_gda_cache;
+          Alcotest.test_case "baseline streams" `Quick
+            test_maxj_baseline_streams;
+          Alcotest.test_case "dataflow expression" `Quick
+            test_maxj_dataflow_expression ] );
+      ( "dot",
+        [ Alcotest.test_case "structure" `Quick test_dot_structure;
+          Alcotest.test_case "parallel cluster" `Quick test_dot_parallel_cluster
+        ] );
+      ( "hw_pp",
+        [ Alcotest.test_case "memories listed" `Quick
+            test_hwpp_lists_all_memories ] ) ]

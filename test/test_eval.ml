@@ -1,0 +1,260 @@
+(* Interpreter correctness: every benchmark evaluated against its plain-OCaml
+   reference, in both Sequential and Chunked modes (the latter exercises
+   every combine function, the associativity the tiling transformations
+   rely on). *)
+
+open Dsl
+
+let value_eq = Value.equal ~eps:1e-6
+
+let check_value msg expected actual =
+  if not (value_eq expected actual) then
+    Alcotest.failf "%s:@.expected %s@.got %s" msg (Value.to_string expected)
+      (Value.to_string actual)
+
+let matrix_value = Workloads.value_of_matrix
+let vector_value = Workloads.value_of_vector
+
+(* -------------------- small direct programs -------------------- *)
+
+let ev ?mode e = Eval.eval ?mode Sym.Map.empty e
+
+let test_scalar_ops () =
+  check_value "add" (Value.F 5.0) (ev (f 2.0 +! f 3.0));
+  check_value "int div truncates" (Value.I 3) (ev (i 7 /! i 2));
+  check_value "mod" (Value.I 1) (ev (i 7 %! i 2));
+  check_value "min" (Value.F 2.0) (ev (min_ (f 2.0) (f 3.0)));
+  check_value "select" (Value.I 1) (ev (if_ (b true) (i 1) (i 2)));
+  check_value "tuple proj" (Value.I 2) (ev (snd_ (pair (f 1.0) (i 2))))
+
+let test_map_eval () =
+  let e = map1 (dfull (i 4)) (fun idx -> idx *! i 2) in
+  check_value "map" (Value.of_int_list [ 0; 2; 4; 6 ]) (ev e)
+
+let test_map2d_eval () =
+  let e = map2d (dfull (i 2)) (dfull (i 3)) (fun r c -> (r *! i 10) +! c) in
+  check_value "map2d"
+    (Value.Arr
+       (Ndarray.of_list2
+          [ [ Value.I 0; Value.I 1; Value.I 2 ];
+            [ Value.I 10; Value.I 11; Value.I 12 ] ]))
+    (ev e)
+
+let test_fold_eval () =
+  let e =
+    fold1 (dfull (i 5)) ~init:(i 0) ~comb:(fun a b -> a +! b)
+      (fun idx acc -> acc +! idx)
+  in
+  check_value "sum 0..4" (Value.I 10) (ev e);
+  check_value "chunked same" (Value.I 10) (ev ~mode:(Eval.Chunked 2) e)
+
+let test_flatmap_eval () =
+  let e =
+    flatmap (dfull (i 4)) (fun idx ->
+        if_ (idx %! i 2 =! i 0) (arr [ idx; neg idx ]) (empty Ty.int_))
+  in
+  check_value "flatmap" (Value.of_int_list [ 0; 0; 2; -2 ]) (ev e)
+
+let test_groupbyfold_eval () =
+  let e =
+    groupbyfold (dfull (i 7)) ~init:(i 0)
+      ~comb:(fun a b -> a +! b)
+      (fun idx -> (idx %! i 3, fun acc -> acc +! i 1))
+  in
+  check_value "histogram mod 3"
+    (Value.Assoc
+       [ (Value.I 0, Value.I 3); (Value.I 1, Value.I 2); (Value.I 2, Value.I 2) ])
+    (ev e);
+  check_value "chunked merge equal"
+    (ev e)
+    (ev ~mode:(Eval.Chunked 2) e)
+
+let test_multifold_row_writes () =
+  (* write each row of a 3x2 output exactly once, no combine *)
+  let e =
+    multifold [ dfull (i 3) ]
+      ~init:(zeros Ty.Int [ i 3; i 2 ])
+      (fun idxs ->
+        let r = List.hd idxs in
+        [ { range = [ i 3; i 2 ];
+            region = [ (r, i 1, Some 1); (i 0, i 2, Some 2) ];
+            upd =
+              (fun _acc -> map2d (dfull (i 1)) (dfull (i 2)) (fun _ c -> r +! c))
+          } ])
+  in
+  check_value "rows"
+    (Value.Arr
+       (Ndarray.of_list2
+          [ [ Value.I 0; Value.I 1 ];
+            [ Value.I 1; Value.I 2 ];
+            [ Value.I 2; Value.I 3 ] ]))
+    (ev e)
+
+let test_let_slices () =
+  let x = Sym.fresh "x" in
+  let env =
+    Sym.Map.singleton x (Workloads.value_of_matrix [| [| 1.; 2. |]; [| 3.; 4. |] |])
+  in
+  let e = read (slice_row (Ir.Var x) (i 1)) [ i 0 ] in
+  check_value "slice row read" (Value.F 3.0) (Eval.eval env e)
+
+let test_copy_eval () =
+  let x = Sym.fresh "x" in
+  let env =
+    Sym.Map.singleton x
+      (Workloads.value_of_matrix [| [| 1.; 2.; 3. |]; [| 4.; 5.; 6. |] |])
+  in
+  let e =
+    Ir.Copy
+      { csrc = Ir.Var x;
+        cdims =
+          [ Ir.Coffset { off = i 0; len = i 2; max_len = Some 2 };
+            Ir.Coffset { off = i 1; len = i 2; max_len = Some 2 } ];
+        creuse = 1 }
+  in
+  check_value "tile copy"
+    (Value.Arr
+       (Ndarray.of_list2
+          [ [ Value.F 2.; Value.F 3. ]; [ Value.F 5.; Value.F 6. ] ]))
+    (Eval.eval env e)
+
+(* -------------------- benchmarks vs references -------------------- *)
+
+let test_outerprod_reference () =
+  let t = Outerprod.make () in
+  let m = 13 and n = 9 in
+  let a, b = Outerprod.raw_inputs ~seed:42 ~m ~n in
+  let result =
+    Eval.eval_program t.Outerprod.prog
+      ~sizes:[ (t.Outerprod.m, m); (t.Outerprod.n, n) ]
+      ~inputs:(Outerprod.gen_inputs t ~seed:42 ~m ~n)
+  in
+  check_value "outerprod" (matrix_value (Outerprod.reference a b)) result
+
+let test_sumrows_reference () =
+  let t = Sumrows.make () in
+  let m = 11 and n = 17 in
+  let x = Sumrows.raw_inputs ~seed:42 ~m ~n in
+  let sizes = [ (t.Sumrows.m, m); (t.Sumrows.n, n) ] in
+  let inputs = Sumrows.gen_inputs t ~seed:42 ~m ~n in
+  let result = Eval.eval_program t.Sumrows.prog ~sizes ~inputs in
+  check_value "sumrows" (vector_value (Sumrows.reference x)) result;
+  let chunked =
+    Eval.eval_program ~mode:(Eval.Chunked 3) t.Sumrows.prog ~sizes ~inputs
+  in
+  check_value "sumrows chunked" (vector_value (Sumrows.reference x)) chunked
+
+let test_gemm_reference () =
+  let t = Gemm.make () in
+  let m = 7 and n = 5 and p = 9 in
+  let x, y = Gemm.raw_inputs ~seed:1 ~m ~n ~p in
+  let result =
+    Eval.eval_program t.Gemm.prog
+      ~sizes:[ (t.Gemm.m, m); (t.Gemm.n, n); (t.Gemm.p, p) ]
+      ~inputs:(Gemm.gen_inputs t ~seed:1 ~m ~n ~p)
+  in
+  check_value "gemm" (matrix_value (Gemm.reference x y)) result
+
+let test_tpchq6_reference () =
+  let t = Tpchq6.make () in
+  let n = 400 in
+  let li = Tpchq6.raw_inputs ~seed:7 ~n in
+  let result =
+    Eval.eval_program t.Tpchq6.prog
+      ~sizes:[ (t.Tpchq6.n, n) ]
+      ~inputs:(Tpchq6.gen_inputs t ~seed:7 ~n)
+  in
+  check_value "q6 revenue" (Value.F (Tpchq6.reference li)) result;
+  (* some rows must actually match for the test to mean anything *)
+  Alcotest.(check bool) "selectivity positive" true
+    (Workloads.q6_selectivity li > 0.0)
+
+let test_gda_reference () =
+  let t = Gda.make () in
+  let n = 20 and d = 4 in
+  let x, y, mu = Gda.raw_inputs ~seed:3 ~n ~d in
+  let sizes = [ (t.Gda.n, n); (t.Gda.d, d) ] in
+  let inputs = Gda.gen_inputs t ~seed:3 ~n ~d in
+  let result = Eval.eval_program t.Gda.prog ~sizes ~inputs in
+  check_value "gda sigma" (matrix_value (Gda.reference ~x ~y ~mu)) result;
+  let chunked = Eval.eval_program ~mode:(Eval.Chunked 7) t.Gda.prog ~sizes ~inputs in
+  check_value "gda chunked" (matrix_value (Gda.reference ~x ~y ~mu)) chunked
+
+let test_kmeans_reference () =
+  let t = Kmeans.make () in
+  let n = 30 and k = 4 and d = 3 in
+  let points, centroids = Kmeans.raw_inputs ~seed:5 ~n ~k ~d in
+  let sizes = [ (t.Kmeans.n, n); (t.Kmeans.k, k); (t.Kmeans.d, d) ] in
+  let inputs = Kmeans.gen_inputs t ~seed:5 ~n ~k ~d in
+  let result = Eval.eval_program t.Kmeans.prog ~sizes ~inputs in
+  check_value "kmeans new centroids"
+    (matrix_value (Kmeans.reference ~points ~centroids))
+    result;
+  let chunked =
+    Eval.eval_program ~mode:(Eval.Chunked 8) t.Kmeans.prog ~sizes ~inputs
+  in
+  check_value "kmeans chunked"
+    (matrix_value (Kmeans.reference ~points ~centroids))
+    chunked
+
+let test_histogram_reference () =
+  let t = Histogram.make () in
+  let n = 100 in
+  let x = Histogram.raw_inputs ~seed:11 ~n in
+  let result =
+    Eval.eval_program t.Histogram.prog
+      ~sizes:[ (t.Histogram.n, n) ]
+      ~inputs:(Histogram.gen_inputs t ~seed:11 ~n)
+  in
+  let expected =
+    Value.Assoc
+      (List.map
+         (fun (k, c) -> (Value.I k, Value.I c))
+         (Histogram.reference x))
+  in
+  check_value "histogram" expected result
+
+(* -------------------- chunked/sequential agreement (property) ------- *)
+
+let prop_mode_agreement (bench : Suite.bench) =
+  QCheck.Test.make
+    ~name:(bench.Suite.name ^ ": sequential = chunked")
+    ~count:12
+    QCheck.(pair (int_range 0 1000) (int_range 1 9))
+    (fun (seed, chunk) ->
+      let inputs = bench.Suite.gen ~sizes:bench.Suite.test_sizes ~seed in
+      let seq =
+        Eval.eval_program bench.Suite.prog ~sizes:bench.Suite.test_sizes ~inputs
+      in
+      let par =
+        Eval.eval_program ~mode:(Eval.Chunked chunk) bench.Suite.prog
+          ~sizes:bench.Suite.test_sizes ~inputs
+      in
+      value_eq seq par)
+
+let () =
+  let suite = Suite.all () in
+  Alcotest.run "eval"
+    [ ( "scalars",
+        [ Alcotest.test_case "ops" `Quick test_scalar_ops ] );
+      ( "patterns",
+        [ Alcotest.test_case "map" `Quick test_map_eval;
+          Alcotest.test_case "map2d" `Quick test_map2d_eval;
+          Alcotest.test_case "fold" `Quick test_fold_eval;
+          Alcotest.test_case "flatmap" `Quick test_flatmap_eval;
+          Alcotest.test_case "groupbyfold" `Quick test_groupbyfold_eval;
+          Alcotest.test_case "multifold rows" `Quick test_multifold_row_writes;
+          Alcotest.test_case "slices" `Quick test_let_slices;
+          Alcotest.test_case "copy" `Quick test_copy_eval ] );
+      ( "benchmarks",
+        [ Alcotest.test_case "outerprod" `Quick test_outerprod_reference;
+          Alcotest.test_case "sumrows" `Quick test_sumrows_reference;
+          Alcotest.test_case "gemm" `Quick test_gemm_reference;
+          Alcotest.test_case "tpchq6" `Quick test_tpchq6_reference;
+          Alcotest.test_case "gda" `Quick test_gda_reference;
+          Alcotest.test_case "kmeans" `Quick test_kmeans_reference;
+          Alcotest.test_case "histogram" `Quick test_histogram_reference ] );
+      ( "mode agreement",
+        List.map
+          (fun bench -> QCheck_alcotest.to_alcotest (prop_mode_agreement bench))
+          suite ) ]

@@ -1,0 +1,166 @@
+(* Event-level simulation: unit tests on hand-built designs (pipeline
+   fill/steady behavior, DRAM gap-filling, double-buffer dependencies) and
+   cross-validation against the analytic engine on the whole suite. *)
+
+let check_f msg expected actual =
+  if
+    Float.abs (expected -. actual)
+    > 1e-6 *. Float.max 1.0 (Float.abs expected)
+  then Alcotest.failf "%s: expected %f, got %f" msg expected actual
+
+let pipe ?(trips = [ Hw.Tconst 1000.0 ]) ?(par = 1) ?(depth = 10) ?(dram = [])
+    name =
+  Hw.Pipe
+    { name;
+      trips;
+      template = Hw.Vector;
+      par;
+      depth;
+      ii = 1;
+      ops = { Hw.flops = 1; int_ops = 0; cmp_ops = 0; mem_reads = 1; mem_writes = 1 };
+      body = None;
+      dram;
+      uses = [];
+      defines = [] }
+
+let load ?(words = 800.0) name =
+  Hw.Tile_load
+    { name; mem = "buf"; array = "x"; words = Hw.Tconst words; path = [];
+      reuse = 1 }
+
+let design top = { Hw.design_name = "t"; mems = []; top; par_factor = 1 }
+
+let ev d = (Event_sim.run d ~sizes:[]).Event_sim.report.Simulate.cycles
+
+(* -------------------- unit behaviors -------------------- *)
+
+let test_leaf_matches_analytic () =
+  let d = design (pipe "p") in
+  check_f "leaf pipe" (Simulate.run d ~sizes:[]).Simulate.cycles (ev d)
+
+let test_metapipe_steady_state () =
+  (* two equal stages of 1010 cycles, 10 iterations:
+     fill 2020 + 9 * 1010 *)
+  let d =
+    design
+      (Hw.Loop
+         { name = "l"; trips = [ Hw.Tconst 10.0 ]; meta = true;
+           stages = [ pipe "a"; pipe "b" ] })
+  in
+  check_f "balanced metapipe" (2020.0 +. (9.0 *. 1010.0)) (ev d)
+
+let test_metapipe_bottleneck () =
+  (* unbalanced stages: steady state = slowest stage *)
+  let d =
+    design
+      (Hw.Loop
+         { name = "l"; trips = [ Hw.Tconst 10.0 ]; meta = true;
+           stages = [ pipe ~trips:[ Hw.Tconst 100.0 ] "fast"; pipe "slow" ] })
+  in
+  (* fill = 110 + 1010; steady = 1010 *)
+  check_f "bottleneck" (110.0 +. 1010.0 +. (9.0 *. 1010.0)) (ev d)
+
+let test_dram_serialization () =
+  (* two concurrent loads of 800 words at 8 w/c + 100 latency: the memory
+     interface serializes them *)
+  let d =
+    design (Hw.Par { name = "p"; children = [ load "l1"; load "l2" ] })
+  in
+  check_f "serialized loads" 400.0 (ev d)
+
+let test_dram_gap_filling () =
+  (* load (memory) in stage 1 overlaps compute in stage 2 across
+     iterations: the steady state is the max, not the sum *)
+  let d meta =
+    design
+      (Hw.Loop
+         { name = "l"; trips = [ Hw.Tconst 20.0 ]; meta;
+           stages = [ load ~words:8000.0 "ld"; pipe "compute" ] })
+  in
+  let seq = ev (d false) and meta = ev (d true) in
+  (* load = 100 + 1000 = 1100; pipe = 1010; seq = 20*(2110) *)
+  check_f "sequential" (20.0 *. 2110.0) seq;
+  check_f "metapipe overlaps load with compute"
+    (2110.0 +. (19.0 *. 1100.0))
+    meta
+
+let test_double_buffer_dependency () =
+  (* stage B of iteration i cannot start before stage A of iteration i:
+     with A slow and B fast, B's rate is limited by A *)
+  let d =
+    design
+      (Hw.Loop
+         { name = "l"; trips = [ Hw.Tconst 5.0 ]; meta = true;
+           stages =
+             [ pipe ~trips:[ Hw.Tconst 5000.0 ] "slowA";
+               pipe ~trips:[ Hw.Tconst 10.0 ] "fastB" ] })
+  in
+  (* A = 5010, B = 20; total = fill (5030) + 4 * 5010 *)
+  check_f "producer limits consumer" (5030.0 +. (4.0 *. 5010.0)) (ev d)
+
+let test_event_counts () =
+  let d =
+    design
+      (Hw.Loop
+         { name = "l"; trips = [ Hw.Tconst 7.0 ]; meta = false;
+           stages = [ pipe "a"; pipe "b" ] })
+  in
+  let r = Event_sim.run d ~sizes:[] in
+  Alcotest.(check int) "7 iterations x 2 stages" 14 r.Event_sim.events;
+  Alcotest.(check int) "no fallbacks" 0 r.Event_sim.fallbacks
+
+let test_fallback_on_huge_loops () =
+  let d =
+    design
+      (Hw.Loop
+         { name = "l"; trips = [ Hw.Tconst 1e9 ]; meta = false;
+           stages = [ pipe "a" ] })
+  in
+  let r = Event_sim.run d ~sizes:[] in
+  Alcotest.(check int) "fell back" 1 r.Event_sim.fallbacks;
+  (* and the result matches the analytic engine *)
+  check_f "fallback cycles" (Simulate.run d ~sizes:[]).Simulate.cycles
+    r.Event_sim.report.Simulate.cycles
+
+(* -------------------- suite cross-validation -------------------- *)
+
+let test_cross_validation () =
+  List.iter
+    (fun bench ->
+      List.iter
+        (fun cfg ->
+          let d = Experiments.design_of cfg bench in
+          let sizes = bench.Suite.sim_sizes in
+          let a = (Simulate.run d ~sizes).Simulate.cycles in
+          let e = Event_sim.run d ~sizes in
+          let ev_c = e.Event_sim.report.Simulate.cycles in
+          let ratio = ev_c /. a in
+          if ratio < 0.98 || ratio > 1.02 then
+            Alcotest.failf "%s/%s: analytic %.0f vs event %.0f (ratio %.3f)"
+              bench.Suite.name (Experiments.config_name cfg) a ev_c ratio;
+          (* traffic must agree exactly *)
+          let at = Simulate.total_read (Simulate.run d ~sizes) in
+          let et = Simulate.total_read e.Event_sim.report in
+          if Float.abs (at -. et) > 1.0 then
+            Alcotest.failf "%s/%s: traffic %.0f vs %.0f" bench.Suite.name
+              (Experiments.config_name cfg) at et)
+        [ Experiments.Baseline; Experiments.Tiled; Experiments.Tiled_meta ])
+    (Suite.all ())
+
+let () =
+  Alcotest.run "event_sim"
+    [ ( "unit",
+        [ Alcotest.test_case "leaf = analytic" `Quick test_leaf_matches_analytic;
+          Alcotest.test_case "metapipe steady state" `Quick
+            test_metapipe_steady_state;
+          Alcotest.test_case "metapipe bottleneck" `Quick
+            test_metapipe_bottleneck;
+          Alcotest.test_case "dram serialization" `Quick test_dram_serialization;
+          Alcotest.test_case "dram gap filling" `Quick test_dram_gap_filling;
+          Alcotest.test_case "double-buffer dependency" `Quick
+            test_double_buffer_dependency;
+          Alcotest.test_case "event counts" `Quick test_event_counts;
+          Alcotest.test_case "fallback" `Quick test_fallback_on_huge_loops ] );
+      ( "cross-validation",
+        [ Alcotest.test_case "suite x configs within 2%" `Quick
+            test_cross_validation ] ) ]

@@ -1,0 +1,253 @@
+(* The collections front end (Fig. 3): programs written against the
+   surface layer must equal both plain-OCaml references and the
+   hand-written fused PPL programs of lib/apps — including k-means, the
+   paper's Fig. 3 / Fig. 4 pair. *)
+
+open Collections
+
+let value_eq = Value.equal ~eps:1e-5
+
+let check_value msg expected actual =
+  if not (value_eq expected actual) then
+    Alcotest.failf "%s:@.expected %s@.got %s" msg (Value.to_string expected)
+      (Value.to_string actual)
+
+(* ---------------- small algebra ---------------- *)
+
+let test_map_zip_sum () =
+  let n = Dsl.size "n" in
+  let x = Dsl.input "x" Ty.float_ [ Ir.Var n ] in
+  let y = Dsl.input "y" Ty.float_ [ Ir.Var n ] in
+  (* sum (zipWith (+) (map double x) y) *)
+  let body =
+    vsum
+      (vzip
+         (fun a b -> Dsl.( +! ) a b)
+         (vmap (fun a -> Dsl.( *! ) (Dsl.f 2.0) a) (vec_of_input x))
+         (vec_of_input y))
+  in
+  let prog = Dsl.program ~name:"mzs" ~sizes:[ n ] ~inputs:[ x; y ] body in
+  let nv = 17 in
+  let rng = Workloads.Rng.make 2 in
+  let xs = Workloads.float_vector rng nv and ys = Workloads.float_vector rng nv in
+  let expected =
+    Array.to_list xs |> List.mapi (fun i v -> (2.0 *. v) +. ys.(i))
+    |> List.fold_left ( +. ) 0.0
+  in
+  let v =
+    Eval.eval_program prog ~sizes:[ (n, nv) ]
+      ~inputs:
+        [ (x.Ir.iname, Workloads.value_of_vector xs);
+          (y.Ir.iname, Workloads.value_of_vector ys) ]
+  in
+  check_value "map/zip/sum" (Value.F expected) v
+
+let test_fusion_by_construction () =
+  (* pull-array composition emits ONE pattern: no Let-bound intermediate *)
+  let n = Dsl.size "n" in
+  let x = Dsl.input "x" Ty.float_ [ Ir.Var n ] in
+  let body =
+    vsum (vmap (fun a -> Dsl.( *! ) a a) (vmap (fun a -> Dsl.( +! ) a (Dsl.f 1.0)) (vec_of_input x)))
+  in
+  let patterns = ref 0 in
+  Rewrite.iter_exp
+    (function
+      | Ir.Map _ | Ir.Fold _ | Ir.MultiFold _ -> incr patterns
+      | _ -> ())
+    body;
+  Alcotest.(check int) "single fused fold" 1 !patterns
+
+let test_min_with_index_ties () =
+  (* ties resolve to the later index, like the Fig. 4 fold *)
+  let v = vec_tabulate (Dsl.i 4) (fun _ -> Dsl.f 3.0) in
+  let result = Eval.eval Sym.Map.empty (min_with_index v) in
+  check_value "tie goes to last" (Value.Tup [ Value.F 3.0; Value.I 3 ]) result
+
+let test_dot_matches_gemm_cell () =
+  let t = Gemm.make () in
+  let x = mat_of_input t.Gemm.x and y = mat_of_input t.Gemm.y in
+  (* one output cell of gemm via the front end *)
+  let body = dot (row x (Dsl.i 0)) (col y (Dsl.i 0)) in
+  let prog =
+    Dsl.program ~name:"cell"
+      ~sizes:[ t.Gemm.m; t.Gemm.n; t.Gemm.p ]
+      ~inputs:[ t.Gemm.x; t.Gemm.y ] body
+  in
+  let m = 3 and n = 4 and p = 5 in
+  let xs, ys = Gemm.raw_inputs ~seed:3 ~m ~n ~p in
+  let expected = (Gemm.reference xs ys).(0).(0) in
+  let v =
+    Eval.eval_program prog
+      ~sizes:[ (t.Gemm.m, m); (t.Gemm.n, n); (t.Gemm.p, p) ]
+      ~inputs:(Gemm.gen_inputs t ~seed:3 ~m ~n ~p)
+  in
+  check_value "dot = gemm cell" (Value.F expected) v
+
+let test_sum_rows_matches_app () =
+  let t = Sumrows.make () in
+  let body = materialize (sum_rows (mat_of_input t.Sumrows.x)) in
+  ignore body;
+  (* sum_rows emits the same fused MultiFold shape as the app... compare
+     values instead of syntax *)
+  let front_prog =
+    Dsl.program ~name:"front_sumrows" ~sizes:[ t.Sumrows.m; t.Sumrows.n ]
+      ~inputs:[ t.Sumrows.x ]
+      (materialize (sum_rows (mat_of_input t.Sumrows.x)))
+  in
+  let m = 6 and n = 9 in
+  let sizes = [ (t.Sumrows.m, m); (t.Sumrows.n, n) ] in
+  let inputs = Sumrows.gen_inputs t ~seed:5 ~m ~n in
+  check_value "front sumrows = app sumrows"
+    (Eval.eval_program t.Sumrows.prog ~sizes ~inputs)
+    (Eval.eval_program front_prog ~sizes ~inputs)
+
+(* ---------------- k-means: Fig. 3 via the front end ---------------- *)
+
+(* Transcription of Fig. 3 against the collections layer. *)
+let kmeans_front () =
+  let n = Dsl.size "n" and k = Dsl.size "k" and d = Dsl.size "d" in
+  let points_in = Dsl.input "points" Ty.float_ [ Ir.Var n; Ir.Var d ] in
+  let centroids_in = Dsl.input "centroids" Ty.float_ [ Ir.Var k; Ir.Var d ] in
+  let points = mat_of_input points_in in
+  let centroids = mat_of_input centroids_in in
+  (* Assign current point to the closest centroid (Fig. 3 lines 8-14) *)
+  let closest pt1 =
+    Dsl.snd_
+      (min_with_index
+         (map_rows centroids (fun _ pt2 ->
+              vsum (vzip (fun a b -> Dsl.square (Dsl.( -! ) a b)) pt1 pt2))))
+  in
+  (* group points by closest centroid, summing and counting *)
+  let sums_counts =
+    group_by_vector_sum ~n:(Ir.Var n) ~k:(Ir.Var k) ~d:(Ir.Var d)
+      ~key:(fun idx -> closest (row points idx))
+      ~vec_of:(fun idx -> row points idx)
+  in
+  (* average (Fig. 3 lines 17-21) *)
+  let body =
+    Dsl.let_ ~name:"sums_counts" sums_counts (fun sc ->
+        Dsl.map2d (Dsl.dfull (Ir.Var k)) (Dsl.dfull (Ir.Var d)) (fun ci cj ->
+            Dsl.( /! )
+              (Dsl.read (Dsl.fst_ sc) [ ci; cj ])
+              (Dsl.read (Dsl.snd_ sc) [ ci ])))
+  in
+  ( Dsl.program ~name:"kmeans_front" ~sizes:[ n; k; d ]
+      ~max_sizes:[ (n, 1 lsl 20); (k, 512); (d, 32) ]
+      ~inputs:[ points_in; centroids_in ] body,
+    n, k, d, points_in, centroids_in )
+
+let test_kmeans_front_matches_fig4 () =
+  let prog, n, k, d, points_in, centroids_in = kmeans_front () in
+  ignore (Validate.check_program prog);
+  let t = Kmeans.make () in
+  let nv = 40 and kv = 5 and dv = 3 in
+  let points, centroids = Kmeans.raw_inputs ~seed:12 ~n:nv ~k:kv ~d:dv in
+  let front_v =
+    Eval.eval_program prog
+      ~sizes:[ (n, nv); (k, kv); (d, dv) ]
+      ~inputs:
+        [ (points_in.Ir.iname, Workloads.value_of_matrix points);
+          (centroids_in.Ir.iname, Workloads.value_of_matrix centroids) ]
+  in
+  (* against the plain reference *)
+  check_value "front kmeans = reference"
+    (Workloads.value_of_matrix (Kmeans.reference ~points ~centroids))
+    front_v;
+  (* and against the hand-written Fig. 4 program *)
+  let fig4_v =
+    Eval.eval_program t.Kmeans.prog
+      ~sizes:[ (t.Kmeans.n, nv); (t.Kmeans.k, kv); (t.Kmeans.d, dv) ]
+      ~inputs:(Kmeans.gen_inputs t ~seed:12 ~n:nv ~k:kv ~d:dv)
+  in
+  check_value "front kmeans = Fig. 4 kmeans" fig4_v front_v
+
+let test_kmeans_front_tiles () =
+  (* the front-end program goes through the same tiling pipeline *)
+  let prog, n, k, d, points_in, centroids_in = kmeans_front () in
+  let r = Tiling.run ~tiles:[ (n, 8); (k, 2) ] prog in
+  let nv = 30 and kv = 4 and dv = 3 in
+  let points, centroids = Kmeans.raw_inputs ~seed:7 ~n:nv ~k:kv ~d:dv in
+  let sizes = [ (n, nv); (k, kv); (d, dv) ] in
+  let inputs =
+    [ (points_in.Ir.iname, Workloads.value_of_matrix points);
+      (centroids_in.Ir.iname, Workloads.value_of_matrix centroids) ]
+  in
+  check_value "front kmeans tiled"
+    (Eval.eval_program prog ~sizes ~inputs)
+    (Eval.eval_program r.Tiling.tiled ~sizes ~inputs);
+  (* the split + interchange of Fig. 5b fires on the front-end version too *)
+  let found = ref false in
+  Rewrite.iter_exp
+    (function
+      | Ir.Let
+          ( _,
+            Ir.Fold { fdims = [ Ir.Dtiles _ ]; _ },
+            Ir.MultiFold
+              { olets = [ (_, (Ir.Read _ | Ir.Proj (Ir.Read _, _))) ]; _ } ) ->
+          found := true
+      | _ -> ())
+    r.Tiling.tiled.Ir.body;
+  Alcotest.(check bool) "fig 5b structure" true !found
+
+let test_filter_map_front () =
+  let n = Dsl.size "n" in
+  let x = Dsl.input "x" Ty.float_ [ Ir.Var n ] in
+  let xs = vec_of_input x in
+  let body =
+    filter_map ~n:(Ir.Var n)
+      ~pred:(fun idx -> Dsl.( >! ) (vget xs idx) (Dsl.f 0.5))
+      ~f:(fun idx -> vget xs idx)
+  in
+  let prog = Dsl.program ~name:"fm" ~sizes:[ n ] ~inputs:[ x ] body in
+  let nv = 20 in
+  let rng = Workloads.Rng.make 4 in
+  let data = Workloads.float_vector rng nv in
+  let expected =
+    Value.of_float_list (List.filter (fun v -> v > 0.5) (Array.to_list data))
+  in
+  check_value "filter"
+    expected
+    (Eval.eval_program prog ~sizes:[ (n, nv) ]
+       ~inputs:[ (x.Ir.iname, Workloads.value_of_vector data) ])
+
+let test_group_by_fold_front () =
+  let n = Dsl.size "n" in
+  let x = Dsl.input "x" Ty.float_ [ Ir.Var n ] in
+  let xs = vec_of_input x in
+  let body =
+    group_by_fold ~n:(Ir.Var n)
+      ~key:(fun idx -> Dsl.( /! ) (Dsl.to_int (vget xs idx)) (Dsl.i 10))
+      ~init:(Dsl.i 0)
+      ~upd:(fun acc _ -> Dsl.( +! ) acc (Dsl.i 1))
+      ~comb:(fun a b -> Dsl.( +! ) a b)
+  in
+  let prog = Dsl.program ~name:"hist" ~sizes:[ n ] ~inputs:[ x ] body in
+  let t = Histogram.make () in
+  let nv = 60 in
+  check_value "histogram via front"
+    (Eval.eval_program t.Histogram.prog
+       ~sizes:[ (t.Histogram.n, nv) ]
+       ~inputs:(Histogram.gen_inputs t ~seed:6 ~n:nv))
+    (Eval.eval_program prog ~sizes:[ (n, nv) ]
+       ~inputs:[ (x.Ir.iname, Workloads.value_of_vector (Histogram.raw_inputs ~seed:6 ~n:nv)) ])
+
+let () =
+  Alcotest.run "front"
+    [ ( "algebra",
+        [ Alcotest.test_case "map/zip/sum" `Quick test_map_zip_sum;
+          Alcotest.test_case "fusion by construction" `Quick
+            test_fusion_by_construction;
+          Alcotest.test_case "min_with_index ties" `Quick
+            test_min_with_index_ties;
+          Alcotest.test_case "dot = gemm cell" `Quick test_dot_matches_gemm_cell;
+          Alcotest.test_case "sum_rows = app" `Quick test_sum_rows_matches_app
+        ] );
+      ( "kmeans fig 3",
+        [ Alcotest.test_case "matches Fig. 4 and reference" `Quick
+            test_kmeans_front_matches_fig4;
+          Alcotest.test_case "tiles like Fig. 5b" `Quick test_kmeans_front_tiles
+        ] );
+      ( "dynamic",
+        [ Alcotest.test_case "filter" `Quick test_filter_map_front;
+          Alcotest.test_case "group-by-fold" `Quick test_group_by_fold_front ] )
+    ]

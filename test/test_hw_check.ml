@@ -1,0 +1,155 @@
+(* Hardware-design validation: every generated design is well-formed, and
+   hand-built malformed designs are caught with the right finding. *)
+
+let pipe ?(uses = []) ?(defines = []) name =
+  Hw.Pipe
+    { name;
+      trips = [ Hw.Tconst 16.0 ];
+      template = Hw.Vector;
+      par = 4;
+      depth = 4;
+      ii = 1;
+      ops = { Hw.flops = 1; int_ops = 0; cmp_ops = 0; mem_reads = 1; mem_writes = 1 };
+      body = None;
+      dram = [];
+      uses;
+      defines }
+
+let mem ?(kind = Hw.Buffer) name =
+  { Hw.mem_name = name; kind; width_bits = 32; depth = 64; banks = 1;
+    readers = 1; writers = 1 }
+
+let design ?(mems = []) top =
+  { Hw.design_name = "t"; mems; top; par_factor = 4 }
+
+let problems d = List.map (fun f -> f.Hw_check.problem) (Hw_check.check d)
+
+let has_problem d needle =
+  List.exists
+    (fun p ->
+      let nl = String.length needle and pl = String.length p in
+      let rec go i = i + nl <= pl && (String.sub p i nl = needle || go (i + 1)) in
+      go 0)
+    (problems d)
+
+(* ---------------- every generated design is well-formed ---------------- *)
+
+let test_generated_designs_clean () =
+  List.iter
+    (fun (b : Suite.bench) ->
+      List.iter
+        (fun cfg ->
+          let d = Experiments.design_of cfg b in
+          match Hw_check.check d with
+          | [] -> ()
+          | fs ->
+              Alcotest.failf "%s/%s: %s" b.Suite.name
+                (Experiments.config_name cfg)
+                (String.concat "; "
+                   (List.map (Format.asprintf "%a" Hw_check.pp_finding) fs)))
+        [ Experiments.Baseline; Experiments.Tiled; Experiments.Tiled_meta ])
+    (Suite.extended ())
+
+(* ---------------- malformed designs are caught ---------------- *)
+
+let test_dangling_reference () =
+  let d = design ~mems:[] (pipe ~defines:[ "ghost" ] "p") in
+  Alcotest.(check bool) "dangling write" true
+    (has_problem d "written but not declared")
+
+let test_unused_memory () =
+  let d = design ~mems:[ mem "orphan" ] (pipe "p") in
+  Alcotest.(check bool) "unused memory" true
+    (has_problem d "never referenced")
+
+let test_no_producer () =
+  let d = design ~mems:[ mem "buf" ] (pipe ~uses:[ "buf" ] "p") in
+  Alcotest.(check bool) "no producer" true (has_problem d "never written");
+  (* the same shape is fine for a cache (demand-filled from DRAM) *)
+  let d =
+    design ~mems:[ mem ~kind:Hw.Cache "c" ] (pipe ~uses:[ "c" ] "p")
+  in
+  Alcotest.(check bool) "cache exempt" false (has_problem d "never written")
+
+let test_double_buffer_outside_meta () =
+  let m = mem ~kind:Hw.Double_buffer "db" in
+  let seq =
+    Hw.Seq
+      { name = "top";
+        children = [ pipe ~defines:[ "db" ] "w"; pipe ~uses:[ "db" ] "r" ] }
+  in
+  Alcotest.(check bool) "db outside metapipeline" true
+    (has_problem (design ~mems:[ m ] seq) "outside metapipelines");
+  (* inside a metapipelined loop it is legal *)
+  let ml =
+    Hw.Loop
+      { name = "l";
+        trips = [ Hw.Tconst 4.0 ];
+        meta = true;
+        stages = [ pipe ~defines:[ "db" ] "w"; pipe ~uses:[ "db" ] "r" ] }
+  in
+  Alcotest.(check bool) "db inside metapipeline ok" false
+    (has_problem (design ~mems:[ m ] ml) "outside metapipelines")
+
+let test_fifo_needs_both_ends () =
+  let m = mem ~kind:Hw.Fifo "q" in
+  let d = design ~mems:[ m ] (pipe ~defines:[ "q" ] "w") in
+  (* written but never read -> flagged (generic rule covers the FIFO) *)
+  Alcotest.(check bool) "consumerless fifo flagged" true
+    (has_problem d "never read")
+
+let test_bad_fields () =
+  let bad_pipe =
+    Hw.Pipe
+      { name = "p";
+        trips = [];
+        template = Hw.Vector;
+        par = 0;
+        depth = -1;
+        ii = 0;
+        ops = { Hw.flops = 0; int_ops = 0; cmp_ops = 0; mem_reads = 0; mem_writes = 0 };
+        body = None;
+        dram = [];
+        uses = [];
+        defines = [] }
+  in
+  let d = design bad_pipe in
+  Alcotest.(check bool) "par" true (has_problem d "par < 1");
+  Alcotest.(check bool) "ii" true (has_problem d "ii < 1");
+  Alcotest.(check bool) "depth" true (has_problem d "negative depth");
+  Alcotest.(check bool) "trips" true (has_problem d "no iteration space")
+
+let test_duplicate_names () =
+  let d =
+    design
+      ~mems:[ mem "m"; mem "m" ]
+      (Hw.Seq { name = "top"; children = [ pipe "p"; pipe "p" ] })
+  in
+  Alcotest.(check bool) "dup memory" true (has_problem d "duplicate memory name");
+  Alcotest.(check bool) "dup controller" true
+    (has_problem d "duplicate controller name")
+
+let test_check_exn () =
+  let ok = design (pipe "p") in
+  Hw_check.check_exn ok;
+  let bad = design ~mems:[ mem "orphan" ] (pipe "p") in
+  Alcotest.(check bool) "raises" true
+    (match Hw_check.check_exn bad with
+    | () -> false
+    | exception Failure _ -> true)
+
+let () =
+  Alcotest.run "hw_check"
+    [ ( "generated",
+        [ Alcotest.test_case "all designs well-formed" `Quick
+            test_generated_designs_clean ] );
+      ( "malformed",
+        [ Alcotest.test_case "dangling reference" `Quick test_dangling_reference;
+          Alcotest.test_case "unused memory" `Quick test_unused_memory;
+          Alcotest.test_case "no producer" `Quick test_no_producer;
+          Alcotest.test_case "double buffer outside meta" `Quick
+            test_double_buffer_outside_meta;
+          Alcotest.test_case "consumerless fifo" `Quick test_fifo_needs_both_ends;
+          Alcotest.test_case "bad pipe fields" `Quick test_bad_fields;
+          Alcotest.test_case "duplicate names" `Quick test_duplicate_names;
+          Alcotest.test_case "check_exn" `Quick test_check_exn ] ) ]

@@ -1,0 +1,62 @@
+(* Logistic regression: correctness, tiling, and hardware generation for
+   a transcendental-bearing MultiFold with a dense vector accumulator. *)
+
+let value_eq = Value.equal ~eps:1e-5
+
+let test_reference () =
+  let t = Logreg.make () in
+  let n = 25 and d = 6 in
+  let x, y, w = Logreg.raw_inputs ~seed:3 ~n ~d in
+  let v =
+    Eval.eval_program t.Logreg.prog
+      ~sizes:[ (t.Logreg.n, n); (t.Logreg.d, d) ]
+      ~inputs:(Logreg.gen_inputs t ~seed:3 ~n ~d)
+  in
+  Alcotest.(check bool) "matches reference" true
+    (value_eq (Workloads.value_of_vector (Logreg.reference ~x ~y ~w)) v)
+
+let test_tiled () =
+  let t = Logreg.make () in
+  List.iter
+    (fun (n, d, b) ->
+      let r = Tiling.run ~tiles:[ (t.Logreg.n, b) ] t.Logreg.prog in
+      ignore (Validate.check_program r.Tiling.tiled);
+      let sizes = [ (t.Logreg.n, n); (t.Logreg.d, d) ] in
+      let inputs = Logreg.gen_inputs t ~seed:8 ~n ~d in
+      let a = Eval.eval_program t.Logreg.prog ~sizes ~inputs in
+      let b' = Eval.eval_program r.Tiling.tiled ~sizes ~inputs in
+      if not (value_eq a b') then Alcotest.failf "n=%d d=%d b=%d mismatch" n d b)
+    [ (20, 4, 8); (17, 3, 5); (32, 8, 32) ]
+
+let test_hardware () =
+  let t = Logreg.make () in
+  let r = Tiling.run ~tiles:[ (t.Logreg.n, 1024) ] t.Logreg.prog in
+  let d = Lower.program Lower.default_opts r.Tiling.tiled in
+  (* a tile load for x, a metapipeline, and the weights preloaded on-chip *)
+  let loads =
+    Hw.fold_ctrls
+      (fun acc c -> match c with Hw.Tile_load _ -> acc + 1 | _ -> acc)
+      0 d.Hw.top
+  in
+  Alcotest.(check bool) "tile loads present" true (loads >= 2);
+  let metas =
+    Hw.fold_ctrls
+      (fun acc c ->
+        match c with Hw.Loop { meta = true; _ } -> acc + 1 | _ -> acc)
+      0 d.Hw.top
+  in
+  Alcotest.(check bool) "metapipelined" true (metas >= 1);
+  (* speedup shape: tiling beats the baseline on this workload too *)
+  let rb = Tiling.run ~tiles:[] t.Logreg.prog in
+  let base = Lower.program Lower.baseline_opts rb.Tiling.fused in
+  let sizes = [ (t.Logreg.n, 1 lsl 16); (t.Logreg.d, 32) ] in
+  let cb = (Simulate.run base ~sizes).Simulate.cycles in
+  let ct = (Simulate.run d ~sizes).Simulate.cycles in
+  Alcotest.(check bool) "tiling wins" true (cb > ct)
+
+let () =
+  Alcotest.run "logreg"
+    [ ( "logreg",
+        [ Alcotest.test_case "reference" `Quick test_reference;
+          Alcotest.test_case "tiled" `Quick test_tiled;
+          Alcotest.test_case "hardware" `Quick test_hardware ] ) ]

@@ -1,0 +1,353 @@
+(* Hardware generation (Section 5 / Table 4): template selection, memory
+   allocation, metapipeline scheduling, double-buffer promotion, and the
+   MaxJ/DOT emitters. *)
+
+let tiled_design ?(opts = Lower.default_opts) (bench : Suite.bench) =
+  let r = Tiling.run ~tiles:bench.Suite.tiles bench.Suite.prog in
+  Lower.program opts r.Tiling.tiled
+
+let baseline_design (bench : Suite.bench) =
+  let r = Tiling.run ~tiles:bench.Suite.tiles bench.Suite.prog in
+  Lower.program Lower.baseline_opts r.Tiling.fused
+
+let mems_of_kind d kind =
+  List.filter (fun m -> m.Hw.kind = kind) d.Hw.mems
+
+let count_ctrl p d = Hw.fold_ctrls (fun n c -> if p c then n + 1 else n) 0 d.Hw.top
+
+let has_template t d =
+  count_ctrl
+    (function Hw.Pipe { template; _ } -> template = t | _ -> false)
+    d
+  > 0
+
+(* ---------------- Table 4: IR construct -> template ---------------- *)
+
+let test_map_vector () =
+  let b = Suite.find (Suite.all ()) "outerprod" in
+  Alcotest.(check bool) "map -> vector unit" true
+    (has_template Hw.Vector (tiled_design b))
+
+let test_fold_tree () =
+  let b = Suite.find (Suite.all ()) "gemm" in
+  Alcotest.(check bool) "fold -> reduction tree" true
+    (has_template Hw.Tree (tiled_design b))
+
+let test_flatmap_fifo () =
+  let b = Suite.find (Suite.all ()) "tpchq6" in
+  let d = tiled_design b in
+  Alcotest.(check bool) "flatmap -> fifo-write pipe" true
+    (has_template Hw.Fifo_write d);
+  Alcotest.(check bool) "fifo memory allocated" true
+    (mems_of_kind d Hw.Fifo <> [])
+
+let test_groupbyfold_cam () =
+  let t = Histogram.make () in
+  let r = Tiling.run ~tiles:[ (t.Histogram.n, 1024) ] t.Histogram.prog in
+  let d = Lower.program Lower.default_opts r.Tiling.tiled in
+  Alcotest.(check bool) "groupByFold -> CAM pipe" true
+    (has_template Hw.Cam_update d);
+  Alcotest.(check bool) "CAM memory allocated" true (mems_of_kind d Hw.Cam <> [])
+
+let test_nonaffine_cache () =
+  let b = Suite.find (Suite.all ()) "gda" in
+  let d = tiled_design b in
+  Alcotest.(check bool) "non-affine access -> cache" true
+    (mems_of_kind d Hw.Cache <> [])
+
+let test_copy_tile_load () =
+  let b = Suite.find (Suite.all ()) "gemm" in
+  let d = tiled_design b in
+  let loads = count_ctrl (function Hw.Tile_load _ -> true | _ -> false) d in
+  Alcotest.(check bool) "two tile loads (x and y)" true (loads >= 2)
+
+(* ---------------- metapipelines and double buffers ------------------ *)
+
+let test_metapipe_enabled () =
+  let b = Suite.find (Suite.all ()) "kmeans" in
+  let d = tiled_design b in
+  let metas =
+    count_ctrl (function Hw.Loop { meta = true; _ } -> true | _ -> false) d
+  in
+  Alcotest.(check bool) "metapipelines generated" true (metas >= 1)
+
+let test_metapipe_disabled () =
+  let b = Suite.find (Suite.all ()) "kmeans" in
+  let d = tiled_design ~opts:{ Lower.default_opts with Lower.meta = false } b in
+  let metas =
+    count_ctrl (function Hw.Loop { meta = true; _ } -> true | _ -> false) d
+  in
+  Alcotest.(check int) "no metapipelines when disabled" 0 metas
+
+let test_double_buffer_promotion () =
+  let b = Suite.find (Suite.all ()) "kmeans" in
+  let d = tiled_design b in
+  (* the points tile couples the load stage to the compute stages *)
+  let points_db =
+    List.exists
+      (fun m ->
+        m.Hw.kind = Hw.Double_buffer
+        && String.length m.Hw.mem_name >= 10
+        && String.sub m.Hw.mem_name 0 10 = "pointsTile")
+      d.Hw.mems
+  in
+  Alcotest.(check bool) "points tile double buffered" true points_db
+
+let test_no_double_buffer_without_meta () =
+  let b = Suite.find (Suite.all ()) "kmeans" in
+  let d = tiled_design ~opts:{ Lower.default_opts with Lower.meta = false } b in
+  Alcotest.(check int) "no double buffers in sequential design" 0
+    (List.length (mems_of_kind d Hw.Double_buffer))
+
+let test_preload_single_buffered () =
+  (* Fig. 6: a top-level preload (centroids with only n tiled) is not a
+     metapipeline stage output, so it stays single buffered *)
+  let t = Kmeans.make () in
+  let r = Tiling.run ~tiles:[ (t.Kmeans.n, 64) ] t.Kmeans.prog in
+  let d = Lower.program Lower.default_opts r.Tiling.tiled in
+  let centroids_mem =
+    List.find_opt
+      (fun m ->
+        String.length m.Hw.mem_name >= 13
+        && String.sub m.Hw.mem_name 0 13 = "centroidsTile")
+      d.Hw.mems
+  in
+  match centroids_mem with
+  | Some m ->
+      Alcotest.(check bool) "preload buffer single" true (m.Hw.kind = Hw.Buffer)
+  | None -> Alcotest.fail "centroids preload buffer missing"
+
+let test_parallel_controller () =
+  let b = Suite.find (Suite.all ()) "kmeans" in
+  let d = tiled_design b in
+  Alcotest.(check bool) "parallel sums/counts updates" true
+    (count_ctrl (function Hw.Par _ -> true | _ -> false) d >= 1)
+
+(* ---------------- memory sizing ------------------ *)
+
+let test_tile_buffer_sizes () =
+  let t = Gemm.make () in
+  let r =
+    Tiling.run
+      ~tiles:[ (t.Gemm.m, 64); (t.Gemm.n, 64); (t.Gemm.p, 64) ]
+      t.Gemm.prog
+  in
+  let d = Lower.program Lower.default_opts r.Tiling.tiled in
+  let tile_mems =
+    List.filter
+      (fun m ->
+        let n = m.Hw.mem_name in
+        String.length n >= 5 && (String.sub n 0 5 = "xTile" || String.sub n 0 5 = "yTile"))
+      d.Hw.mems
+  in
+  Alcotest.(check int) "two input tiles" 2 (List.length tile_mems);
+  List.iter
+    (fun m -> Alcotest.(check int) "tile depth = 64x64" (64 * 64) m.Hw.depth)
+    tile_mems
+
+let test_readers_writers_counted () =
+  let b = Suite.find (Suite.all ()) "kmeans" in
+  let d = tiled_design b in
+  List.iter
+    (fun m ->
+      if m.Hw.kind <> Hw.Cache then
+        Alcotest.(check bool)
+          (m.Hw.mem_name ^ " has a writer")
+          true (m.Hw.writers >= 1))
+    d.Hw.mems
+
+(* ---------------- baseline properties ------------------ *)
+
+let test_baseline_direct_reads () =
+  let b = Suite.find (Suite.all ()) "kmeans" in
+  let d = baseline_design b in
+  let loads = count_ctrl (function Hw.Tile_load _ -> true | _ -> false) d in
+  Alcotest.(check int) "baseline has no tile loads" 0 loads;
+  let direct =
+    Hw.fold_ctrls
+      (fun n c ->
+        match c with Hw.Pipe { dram; _ } -> n + List.length dram | _ -> n)
+      0 d.Hw.top
+  in
+  Alcotest.(check bool) "baseline reads DRAM directly" true (direct >= 2)
+
+let test_same_par_factor () =
+  let b = Suite.find (Suite.all ()) "gemm" in
+  Alcotest.(check int) "par constant across configs"
+    (baseline_design b).Hw.par_factor (tiled_design b).Hw.par_factor
+
+(* ---------------- emitters ------------------ *)
+
+let contains hay needle =
+  let nl = String.length needle and hl = String.length hay in
+  let rec go i = i + nl <= hl && (String.sub hay i nl = needle || go (i + 1)) in
+  go 0
+
+(* ------------- forwarding path for DRAM-resident accumulators ------------- *)
+
+let has_loop_prefix prefix d =
+  count_ctrl
+    (function
+      | Hw.Loop { name; _ } ->
+          String.length name >= String.length prefix
+          && String.sub name 0 (String.length prefix) = prefix
+      | _ -> false)
+    d
+  > 0
+
+(* Row sums accumulated into a DRAM-resident result (maxsize exceeds the
+   on-chip budget): the region is indexed by the row-tile index only, so
+   the column loop can run with the region held in the staging buffer. *)
+let colacc_program () =
+  let m = Dsl.size "m" and n = Dsl.size "n" in
+  let b0 = 4096 in
+  let x = Dsl.input "x" Ty.float_ [ Ir.Var m; Ir.Var n ] in
+  let body =
+    Dsl.multifold_lets
+      [ Dsl.dtiles ~total:(Ir.Var m) ~tile:b0; Dsl.dfull (Ir.Var n) ]
+      ~init:(Dsl.zeros Ty.Float [ Ir.Var m ])
+      ~comb:(fun a b ->
+        Dsl.map1
+          (Dsl.dfull (Dsl.i b0))
+          (fun ix -> Dsl.( +! ) (Dsl.read a [ ix ]) (Dsl.read b [ ix ])))
+      (fun idxs ->
+        match idxs with
+        | [ ii; jj ] ->
+            let off = Dsl.( *! ) ii (Dsl.i b0) in
+            let len = Dsl.min_ (Dsl.i b0) (Dsl.( -! ) (Ir.Var m) off) in
+            ( [ ( "xCol",
+                  Ir.Copy
+                    { csrc = Dsl.in_var x;
+                      cdims =
+                        [ Ir.Coffset { off; len; max_len = Some b0 };
+                          Ir.Cfix jj ];
+                      creuse = 1 } ) ],
+              fun bound ->
+                match bound with
+                | [ xcol ] ->
+                    [ { Dsl.range = [ Ir.Var m ];
+                        region = [ (off, len, Some b0) ];
+                        upd =
+                          (fun cur ->
+                            Dsl.map1 (Dsl.dfull len) (fun ix ->
+                                Dsl.( +! ) (Dsl.read cur [ ix ])
+                                  (Dsl.read xcol [ ix ]))) } ]
+                | _ -> assert false )
+        | _ -> assert false)
+  in
+  ( m,
+    n,
+    x,
+    Dsl.program ~name:"colacc" ~sizes:[ m; n ]
+      ~max_sizes:[ (m, 1 lsl 20); (n, 1024) ]
+      ~inputs:[ x ] body )
+
+let test_forwarding_fires () =
+  let m, n, _, prog = colacc_program () in
+  ignore (Validate.check_program prog);
+  let d = Lower.program Lower.default_opts prog in
+  Alcotest.(check bool) "rmw hoisted into outer loop" true
+    (has_loop_prefix "mf_inner" d);
+  let sizes = [ (m, 8192); (n, 64) ] in
+  let rep = Simulate.run d ~sizes in
+  (* the accumulator round-trips once per region (2 tiles x 4096 words),
+     not once per (ii, jj) iteration (which would be 64x that) *)
+  Alcotest.(check (float 1.0)) "result reads" 8192.0
+    (Simulate.read_words rep "result");
+  Alcotest.(check (float 1.0)) "result writes" 8192.0
+    (Simulate.written_words rep "result");
+  Alcotest.(check (float 1.0)) "x reads" (8192.0 *. 64.0)
+    (Simulate.read_words rep "x");
+  (* the nested metapipeline structure is new to the event engine too:
+     the two engines must still agree *)
+  let ev = (Event_sim.run d ~sizes).Event_sim.report.Simulate.cycles in
+  let dev = Float.abs (ev -. rep.Simulate.cycles) /. rep.Simulate.cycles in
+  Alcotest.(check bool)
+    (Printf.sprintf "engines agree on nested meta (%.1f%%)" (100.0 *. dev))
+    true (dev < 0.05)
+
+let test_forwarding_semantics () =
+  let m, n, x, prog = colacc_program () in
+  let mv = 8192 and nv = 8 in
+  let mat = Workloads.float_matrix (Workloads.Rng.make 11) mv nv in
+  let v =
+    Eval.eval_program prog
+      ~sizes:[ (m, mv); (n, nv) ]
+      ~inputs:[ (x.Ir.iname, Workloads.value_of_matrix mat) ]
+  in
+  let expected =
+    Value.Arr
+      (Ndarray.init [ mv ] (function
+        | [ r ] -> Value.F (Array.fold_left ( +. ) 0.0 mat.(r))
+        | _ -> assert false))
+  in
+  Alcotest.(check bool) "row sums" true (Value.equal ~eps:1e-6 expected v)
+
+let test_forwarding_declined () =
+  (* sumrows: the x-tile copies dominate the accumulator round-trip, so
+     hoisting would only cost cross-stage overlap — the lowering keeps the
+     flat loop *)
+  let b = Suite.find (Suite.all ()) "sumrows" in
+  let d = tiled_design b in
+  Alcotest.(check bool) "flat loop kept" false (has_loop_prefix "mf_inner" d)
+
+let test_maxj_emission () =
+  List.iter
+    (fun bench ->
+      let s = Maxj.emit (tiled_design bench) in
+      Alcotest.(check bool) (bench.Suite.name ^ " kernel") true
+        (String.length s > 200);
+      Alcotest.(check bool) "has Kernel class" true
+        (contains s "Kernel extends Kernel");
+      Alcotest.(check bool) "has tile load" true (contains s "mem.tileLoad"))
+    (Suite.all ())
+
+let test_dot_emission () =
+  List.iter
+    (fun bench ->
+      let s = Dot.emit (tiled_design bench) in
+      Alcotest.(check bool) (bench.Suite.name ^ " dot") true
+        (String.length s > 100);
+      (* crude balance check: one closing brace per opening *)
+      let count c = String.fold_left (fun n ch -> if ch = c then n + 1 else n) 0 s in
+      Alcotest.(check int) "balanced braces" (count '{') (count '}'))
+    (Suite.all ())
+
+let () =
+  Alcotest.run "lower"
+    [ ( "templates",
+        [ Alcotest.test_case "map -> vector" `Quick test_map_vector;
+          Alcotest.test_case "fold -> tree" `Quick test_fold_tree;
+          Alcotest.test_case "flatmap -> fifo" `Quick test_flatmap_fifo;
+          Alcotest.test_case "groupbyfold -> cam" `Quick test_groupbyfold_cam;
+          Alcotest.test_case "non-affine -> cache" `Quick test_nonaffine_cache;
+          Alcotest.test_case "copy -> tile load" `Quick test_copy_tile_load ] );
+      ( "metapipelines",
+        [ Alcotest.test_case "enabled" `Quick test_metapipe_enabled;
+          Alcotest.test_case "disabled" `Quick test_metapipe_disabled;
+          Alcotest.test_case "double-buffer promotion" `Quick
+            test_double_buffer_promotion;
+          Alcotest.test_case "sequential: no double buffers" `Quick
+            test_no_double_buffer_without_meta;
+          Alcotest.test_case "preload single buffered" `Quick
+            test_preload_single_buffered;
+          Alcotest.test_case "parallel controller" `Quick test_parallel_controller
+        ] );
+      ( "memories",
+        [ Alcotest.test_case "tile buffer sizes" `Quick test_tile_buffer_sizes;
+          Alcotest.test_case "ports counted" `Quick test_readers_writers_counted
+        ] );
+      ( "baseline",
+        [ Alcotest.test_case "direct reads" `Quick test_baseline_direct_reads;
+          Alcotest.test_case "constant parallelism" `Quick test_same_par_factor
+        ] );
+      ( "forwarding",
+        [ Alcotest.test_case "fires on rmw-dominated loops" `Quick
+            test_forwarding_fires;
+          Alcotest.test_case "evaluates correctly" `Quick
+            test_forwarding_semantics;
+          Alcotest.test_case "declined when copies dominate" `Quick
+            test_forwarding_declined ] );
+      ( "emitters",
+        [ Alcotest.test_case "maxj" `Quick test_maxj_emission;
+          Alcotest.test_case "dot" `Quick test_dot_emission ] ) ]

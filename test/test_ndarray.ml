@@ -1,0 +1,198 @@
+(* Unit and property tests for the Ndarray substrate. *)
+
+let check_int = Alcotest.(check int)
+let check_bool = Alcotest.(check bool)
+
+let test_create_shape () =
+  let a = Ndarray.create [ 2; 3 ] 0 in
+  check_int "rank" 2 (Ndarray.rank a);
+  Alcotest.(check (list int)) "shape" [ 2; 3 ] (Ndarray.shape a);
+  check_int "size" 6 (Ndarray.size a);
+  check_int "dim 0" 2 (Ndarray.dim a 0);
+  check_int "dim 1" 3 (Ndarray.dim a 1)
+
+let test_scalar () =
+  let a = Ndarray.scalar 42 in
+  check_int "rank" 0 (Ndarray.rank a);
+  check_int "size" 1 (Ndarray.size a);
+  check_int "get" 42 (Ndarray.get_scalar a)
+
+let test_init_get () =
+  let a = Ndarray.init [ 3; 4 ] (function [ r; c ] -> (10 * r) + c | _ -> -1) in
+  check_int "(0,0)" 0 (Ndarray.get2 a 0 0);
+  check_int "(2,3)" 23 (Ndarray.get2 a 2 3);
+  check_int "(1,2)" 12 (Ndarray.get a [ 1; 2 ])
+
+let test_set () =
+  let a = Ndarray.create [ 2; 2 ] 0 in
+  Ndarray.set2 a 1 0 7;
+  check_int "set/get" 7 (Ndarray.get2 a 1 0);
+  check_int "others untouched" 0 (Ndarray.get2 a 0 0)
+
+let test_of_list () =
+  let a = Ndarray.of_list [ 5; 6; 7 ] in
+  check_int "len" 3 (Ndarray.size a);
+  check_int "elt" 6 (Ndarray.get1 a 1)
+
+let test_of_list2 () =
+  let a = Ndarray.of_list2 [ [ 1; 2 ]; [ 3; 4 ]; [ 5; 6 ] ] in
+  Alcotest.(check (list int)) "shape" [ 3; 2 ] (Ndarray.shape a);
+  check_int "(2,1)" 6 (Ndarray.get2 a 2 1)
+
+let test_of_list2_ragged () =
+  Alcotest.check_raises "ragged rows rejected"
+    (Ndarray.Shape_error "of_list2: row 1 has length 1, expected 2") (fun () ->
+      ignore (Ndarray.of_list2 [ [ 1; 2 ]; [ 3 ] ]))
+
+let test_bounds () =
+  let a = Ndarray.create [ 2; 2 ] 0 in
+  check_bool "raises" true
+    (try
+       ignore (Ndarray.get2 a 2 0);
+       false
+     with Ndarray.Shape_error _ -> true)
+
+let test_slice_view_row () =
+  let a = Ndarray.of_list2 [ [ 1; 2; 3 ]; [ 4; 5; 6 ] ] in
+  let row = Ndarray.slice_view a [ Ndarray.Fix 1; Ndarray.Range (0, 3) ] in
+  Alcotest.(check (list int)) "row shape" [ 3 ] (Ndarray.shape row);
+  Alcotest.(check (list int)) "row contents" [ 4; 5; 6 ] (Ndarray.to_list row)
+
+let test_slice_view_aliases () =
+  let a = Ndarray.of_list2 [ [ 1; 2 ]; [ 3; 4 ] ] in
+  let row = Ndarray.slice_view a [ Ndarray.Fix 0; Ndarray.Range (0, 2) ] in
+  Ndarray.set1 row 1 99;
+  check_int "write through view" 99 (Ndarray.get2 a 0 1)
+
+let test_copy_region_independent () =
+  let a = Ndarray.of_list2 [ [ 1; 2 ]; [ 3; 4 ] ] in
+  let region = Ndarray.copy_region a [ Ndarray.Range (0, 1); Ndarray.Range (0, 2) ] in
+  Ndarray.set2 region 0 0 99;
+  check_int "copy is independent" 1 (Ndarray.get2 a 0 0)
+
+let test_blit_region () =
+  let dst = Ndarray.create [ 4; 4 ] 0 in
+  let src = Ndarray.of_list2 [ [ 1; 2 ]; [ 3; 4 ] ] in
+  Ndarray.blit_region ~src ~dst [ 1; 2 ];
+  check_int "(1,2)" 1 (Ndarray.get2 dst 1 2);
+  check_int "(2,3)" 4 (Ndarray.get2 dst 2 3);
+  check_int "outside region" 0 (Ndarray.get2 dst 0 0)
+
+let test_map_fold () =
+  let a = Ndarray.init [ 2; 3 ] (fun _ -> 2) in
+  let b = Ndarray.map (fun x -> x * 3) a in
+  check_int "map" 6 (Ndarray.get2 b 1 1);
+  check_int "fold" 36 (Ndarray.fold ( + ) 0 b)
+
+let test_map2 () =
+  let a = Ndarray.of_list [ 1; 2; 3 ] in
+  let b = Ndarray.of_list [ 10; 20; 30 ] in
+  let c = Ndarray.map2 ( + ) a b in
+  Alcotest.(check (list int)) "sum" [ 11; 22; 33 ] (Ndarray.to_list c)
+
+let test_concat1 () =
+  let a = Ndarray.of_list [ 1; 2 ]
+  and b = Ndarray.of_list ([] : int list)
+  and c = Ndarray.of_list [ 3 ] in
+  Alcotest.(check (list int)) "concat" [ 1; 2; 3 ]
+    (Ndarray.to_list (Ndarray.concat1 [ a; b; c ]))
+
+let test_reshape_transpose () =
+  let a = Ndarray.of_list [ 1; 2; 3; 4; 5; 6 ] in
+  let m = Ndarray.reshape a [ 2; 3 ] in
+  check_int "(1,0)" 4 (Ndarray.get2 m 1 0);
+  let t = Ndarray.transpose2 m in
+  Alcotest.(check (list int)) "transposed shape" [ 3; 2 ] (Ndarray.shape t);
+  check_int "(0,1)" 4 (Ndarray.get2 t 0 1)
+
+let test_indices_order () =
+  Alcotest.(check (list (list int)))
+    "row-major"
+    [ [ 0; 0 ]; [ 0; 1 ]; [ 0; 2 ]; [ 1; 0 ]; [ 1; 1 ]; [ 1; 2 ] ]
+    (Ndarray.indices [ 2; 3 ])
+
+let test_linearize_roundtrip () =
+  let shape = [ 3; 4; 5 ] in
+  List.iter
+    (fun idx ->
+      let flat = Ndarray.linearize shape idx in
+      Alcotest.(check (list int))
+        "delinearize . linearize = id" idx
+        (Ndarray.delinearize shape flat))
+    (Ndarray.indices shape)
+
+let test_equal () =
+  let a = Ndarray.of_list [ 1; 2 ] and b = Ndarray.of_list [ 1; 2 ] in
+  check_bool "equal" true (Ndarray.equal ( = ) a b);
+  Ndarray.set1 b 0 9;
+  check_bool "not equal" false (Ndarray.equal ( = ) a b);
+  let c = Ndarray.of_list [ 1; 2; 3 ] in
+  check_bool "shape mismatch" false (Ndarray.equal ( = ) a c)
+
+let test_empty () =
+  let a = Ndarray.create [ 0; 5 ] 1 in
+  check_int "size" 0 (Ndarray.size a);
+  check_int "fold over empty" 0 (Ndarray.fold ( + ) 0 a);
+  check_bool "for_all on empty" true (Ndarray.for_all (fun _ -> false) a)
+
+(* Property tests *)
+
+let small_shape =
+  QCheck.Gen.(list_size (int_range 0 3) (int_range 0 4))
+
+let prop_size_is_product =
+  QCheck.Test.make ~name:"size = product of dims" ~count:200
+    (QCheck.make small_shape) (fun shape ->
+      let a = Ndarray.create shape 0 in
+      Ndarray.size a = List.fold_left ( * ) 1 shape)
+
+let prop_init_get =
+  QCheck.Test.make ~name:"init then get returns f idx" ~count:200
+    (QCheck.make small_shape) (fun shape ->
+      let f idx = List.fold_left (fun acc x -> (acc * 31) + x) 7 idx in
+      let a = Ndarray.init shape f in
+      List.for_all (fun idx -> Ndarray.get a idx = f idx) (Ndarray.indices shape))
+
+let prop_copy_roundtrip =
+  QCheck.Test.make ~name:"copy preserves contents" ~count:200
+    (QCheck.make small_shape) (fun shape ->
+      let a = Ndarray.init shape (fun idx -> List.length idx :: idx) in
+      Ndarray.equal ( = ) a (Ndarray.copy a))
+
+let prop_indices_count =
+  QCheck.Test.make ~name:"indices length = size" ~count:200
+    (QCheck.make small_shape) (fun shape ->
+      List.length (Ndarray.indices shape) = List.fold_left ( * ) 1 shape)
+
+let () =
+  Alcotest.run "ndarray"
+    [ ( "basics",
+        [ Alcotest.test_case "create/shape" `Quick test_create_shape;
+          Alcotest.test_case "scalar" `Quick test_scalar;
+          Alcotest.test_case "init/get" `Quick test_init_get;
+          Alcotest.test_case "set" `Quick test_set;
+          Alcotest.test_case "of_list" `Quick test_of_list;
+          Alcotest.test_case "of_list2" `Quick test_of_list2;
+          Alcotest.test_case "of_list2 ragged" `Quick test_of_list2_ragged;
+          Alcotest.test_case "bounds" `Quick test_bounds;
+          Alcotest.test_case "empty arrays" `Quick test_empty ] );
+      ( "views",
+        [ Alcotest.test_case "slice row" `Quick test_slice_view_row;
+          Alcotest.test_case "views alias" `Quick test_slice_view_aliases;
+          Alcotest.test_case "copy_region independent" `Quick
+            test_copy_region_independent;
+          Alcotest.test_case "blit_region" `Quick test_blit_region ] );
+      ( "bulk",
+        [ Alcotest.test_case "map/fold" `Quick test_map_fold;
+          Alcotest.test_case "map2" `Quick test_map2;
+          Alcotest.test_case "concat1" `Quick test_concat1;
+          Alcotest.test_case "reshape/transpose" `Quick test_reshape_transpose;
+          Alcotest.test_case "equal" `Quick test_equal ] );
+      ( "index math",
+        [ Alcotest.test_case "indices order" `Quick test_indices_order;
+          Alcotest.test_case "linearize roundtrip" `Quick
+            test_linearize_roundtrip ] );
+      ( "properties",
+        List.map QCheck_alcotest.to_alcotest
+          [ prop_size_is_product; prop_init_get; prop_copy_roundtrip;
+            prop_indices_count ] ) ]

@@ -1,0 +1,60 @@
+(* OCaml 5 parallel evaluation: Parallel mode must produce bit-identical
+   results to Chunked mode with the same chunk size, on every benchmark. *)
+
+let test_matches_chunked (bench : Suite.bench) () =
+  List.iter
+    (fun chunk ->
+      let sizes = bench.Suite.test_sizes in
+      let inputs = bench.Suite.gen ~sizes ~seed:31 in
+      let chunked =
+        Eval.eval_program ~mode:(Eval.Chunked chunk) bench.Suite.prog ~sizes
+          ~inputs
+      in
+      let parallel =
+        Eval.eval_program ~mode:(Eval.Parallel chunk) bench.Suite.prog ~sizes
+          ~inputs
+      in
+      (* bit-identical: zero tolerance *)
+      if not (Value.equal ~eps:0.0 chunked parallel) then
+        Alcotest.failf "%s chunk=%d: parallel differs from chunked"
+          bench.Suite.name chunk)
+    [ 2; 5 ]
+
+let test_tiled_parallel () =
+  (* the tiled program also evaluates correctly in parallel mode *)
+  let bench = Suite.find (Suite.all ()) "kmeans" in
+  let r = Tiling.run ~tiles:bench.Suite.tiles bench.Suite.prog in
+  let sizes = bench.Suite.test_sizes in
+  let inputs = bench.Suite.gen ~sizes ~seed:17 in
+  let seq = Eval.eval_program bench.Suite.prog ~sizes ~inputs in
+  let par = Eval.eval_program ~mode:(Eval.Parallel 4) r.Tiling.tiled ~sizes ~inputs in
+  Alcotest.(check bool) "tiled parallel correct" true
+    (Value.equal ~eps:1e-6 seq par)
+
+let test_larger_workload () =
+  (* a larger reduction where several domains actually run *)
+  let t = Sumrows.make () in
+  let m = 400 and n = 40 in
+  let sizes = [ (t.Sumrows.m, m); (t.Sumrows.n, n) ] in
+  let inputs = Sumrows.gen_inputs t ~seed:9 ~m ~n in
+  let chunked =
+    Eval.eval_program ~mode:(Eval.Chunked 32) t.Sumrows.prog ~sizes ~inputs
+  in
+  let parallel =
+    Eval.eval_program ~mode:(Eval.Parallel 32) t.Sumrows.prog ~sizes ~inputs
+  in
+  Alcotest.(check bool) "identical" true (Value.equal ~eps:0.0 chunked parallel)
+
+let () =
+  let suite = Suite.extended () in
+  Alcotest.run "parallel_eval"
+    [ ( "parallel = chunked",
+        List.map
+          (fun bench ->
+            Alcotest.test_case bench.Suite.name `Quick
+              (test_matches_chunked bench))
+          suite );
+      ( "integration",
+        [ Alcotest.test_case "tiled kmeans" `Quick test_tiled_parallel;
+          Alcotest.test_case "larger workload" `Quick test_larger_workload ] )
+    ]

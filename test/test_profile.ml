@@ -1,0 +1,166 @@
+(* IR-level memory profiling: the third leg of the Fig. 5c consistency
+   triangle — words counted during actual interpretation of the tiled IR
+   must match both the paper's closed forms and the hardware simulator's
+   DRAM traffic counters. *)
+
+let test_untiled_counts () =
+  (* fused kmeans reads points n*k*d + n*d times (distance fold reads the
+     point row per centroid) and centroids n*k*d times, at the IR level *)
+  let t = Kmeans.make () in
+  let n = 16 and k = 4 and d = 3 in
+  let sizes = [ (t.Kmeans.n, n); (t.Kmeans.k, k); (t.Kmeans.d, d) ] in
+  let inputs = Kmeans.gen_inputs t ~seed:2 ~n ~k ~d in
+  let _, counts = Profile.run t.Kmeans.prog ~sizes ~inputs in
+  (* [square (a - b)] duplicates its operand syntactically, so the IR
+     issues two reads per distance term (hardware shares the wire) *)
+  Alcotest.(check int) "centroids IR reads" (2 * n * k * d)
+    (Profile.words counts t.Kmeans.centroids.Ir.iname);
+  (* per point: 2*k*d reads in the distance folds + d in the scatter *)
+  Alcotest.(check int) "points IR reads"
+    ((2 * n * k * d) + (n * d))
+    (Profile.words counts t.Kmeans.points.Ir.iname)
+
+let test_tiled_counts_match_fig5c () =
+  (* tiled kmeans moves exactly the Fig. 5c words: copies replace element
+     traffic *)
+  let t = Kmeans.make () in
+  let n = 64 and k = 16 and d = 4 in
+  let b0 = 16 and b1 = 4 in
+  let r = Tiling.run ~tiles:[ (t.Kmeans.n, b0); (t.Kmeans.k, b1) ] t.Kmeans.prog in
+  let sizes = [ (t.Kmeans.n, n); (t.Kmeans.k, k); (t.Kmeans.d, d) ] in
+  let inputs = Kmeans.gen_inputs t ~seed:3 ~n ~k ~d in
+  let _, counts = Profile.run r.Tiling.tiled ~sizes ~inputs in
+  Alcotest.(check int) "points tile words" (n * d)
+    (Profile.words counts t.Kmeans.points.Ir.iname);
+  Alcotest.(check int) "centroids tile words" (n / b0 * k * d)
+    (Profile.words counts t.Kmeans.centroids.Ir.iname)
+
+let test_matches_simulator () =
+  (* interpreter-counted words = simulator-counted words on the tiled
+     design, for kmeans and gemm at exactly-dividing sizes *)
+  let check_kmeans () =
+    let t = Kmeans.make () in
+    let n = 64 and k = 16 and d = 4 in
+    let r = Tiling.run ~tiles:[ (t.Kmeans.n, 16); (t.Kmeans.k, 4) ] t.Kmeans.prog in
+    let sizes = [ (t.Kmeans.n, n); (t.Kmeans.k, k); (t.Kmeans.d, d) ] in
+    let inputs = Kmeans.gen_inputs t ~seed:4 ~n ~k ~d in
+    let _, counts = Profile.run r.Tiling.tiled ~sizes ~inputs in
+    let design = Lower.program Lower.default_opts r.Tiling.tiled in
+    let rep = Simulate.run design ~sizes in
+    Alcotest.(check int) "kmeans points: interp = sim"
+      (int_of_float (Simulate.read_words rep "points"))
+      (Profile.words counts t.Kmeans.points.Ir.iname);
+    Alcotest.(check int) "kmeans centroids: interp = sim"
+      (int_of_float (Simulate.read_words rep "centroids"))
+      (Profile.words counts t.Kmeans.centroids.Ir.iname)
+  in
+  let check_gemm () =
+    let t = Gemm.make () in
+    let m = 16 and n = 16 and p = 16 in
+    let r =
+      Tiling.run ~tiles:[ (t.Gemm.m, 8); (t.Gemm.n, 8); (t.Gemm.p, 8) ] t.Gemm.prog
+    in
+    let sizes = [ (t.Gemm.m, m); (t.Gemm.n, n); (t.Gemm.p, p) ] in
+    let inputs = Gemm.gen_inputs t ~seed:4 ~m ~n ~p in
+    let _, counts = Profile.run r.Tiling.tiled ~sizes ~inputs in
+    let design = Lower.program Lower.default_opts r.Tiling.tiled in
+    let rep = Simulate.run design ~sizes in
+    Alcotest.(check int) "gemm x: interp = sim"
+      (int_of_float (Simulate.read_words rep "x"))
+      (Profile.words counts t.Gemm.x.Ir.iname);
+    Alcotest.(check int) "gemm y: interp = sim"
+      (int_of_float (Simulate.read_words rep "y"))
+      (Profile.words counts t.Gemm.y.Ir.iname)
+  in
+  check_kmeans ();
+  check_gemm ()
+
+let test_reuse_discount () =
+  (* overlapping window copies discount by the reuse factor *)
+  let d = Dsl.size "d" in
+  let x = Dsl.input "x" Ty.float_ [ Ir.Prim (Ir.Add, [ Ir.Var d; Ir.Ci 2 ]) ] in
+  let body =
+    Dsl.map1 (Dsl.dfull (Ir.Var d)) (fun idx ->
+        Dsl.fold1 (Dsl.dfull (Dsl.i 3)) ~init:(Dsl.f 0.0)
+          ~comb:(fun a b -> Dsl.( +! ) a b)
+          (fun w acc ->
+            Dsl.( +! ) acc (Dsl.read (Dsl.in_var x) [ Dsl.( +! ) idx w ])))
+  in
+  let prog =
+    Dsl.program ~name:"win" ~sizes:[ d ] ~max_sizes:[ (d, 4096) ] ~inputs:[ x ]
+      body
+  in
+  let tiled = Copy_insert.program (Strip_mine.program ~tiles:[ (d, 16) ] prog) in
+  let dv = 64 in
+  let rng = Workloads.Rng.make 5 in
+  let xs = Workloads.float_vector rng (dv + 2) in
+  let _, counts =
+    Profile.run tiled ~sizes:[ (d, dv) ]
+      ~inputs:[ (x.Ir.iname, Workloads.value_of_vector xs) ]
+  in
+  (* 4 tiles of 18 words, halved by reuse=2 -> 36 *)
+  Alcotest.(check int) "window words discounted" (4 * 18 / 2)
+    (Profile.words counts x.Ir.iname)
+
+let test_hook_restored () =
+  (* the hook uninstalls even on exceptions *)
+  (try
+     Eval.with_hook (fun _ _ -> ()) (fun () -> failwith "boom")
+   with Failure _ -> ());
+  (* a subsequent evaluation must not fire the old hook (would raise if
+     the hook escaped, since the table is gone) *)
+  let v = Eval.eval Sym.Map.empty (Dsl.( +! ) (Dsl.f 1.0) (Dsl.f 2.0)) in
+  Alcotest.(check bool) "eval still works" true (Value.equal (Value.F 3.0) v)
+
+let test_traffic_rows () =
+  (* the generalized Fig. 5c report: the baseline re-reads the centroids
+     once per point, the tiled design once per point tile — a reduction
+     of exactly the point-tile size *)
+  let b = Suite.find (Suite.all ()) "kmeans" in
+  let rows = Experiments.traffic b in
+  let centroids =
+    List.find (fun r -> r.Experiments.tinput = "centroids") rows
+  in
+  let b0 = 1024.0 in
+  Alcotest.(check bool) "centroids ratio = point-tile size" true
+    (Float.abs
+       ((centroids.Experiments.tbaseline /. centroids.Experiments.ttiled)
+       -. b0)
+    /. b0
+    < 0.02)
+
+let test_traffic_profile_cross_check () =
+  (* on affine benchmarks at test sizes, the interpreter's tiled word
+     counts agree with the simulator's *)
+  List.iter
+    (fun name ->
+      let b = Suite.find (Suite.extended ()) name in
+      let rows = Experiments.traffic ~profile:true b in
+      List.iter
+        (fun r ->
+          match r.Experiments.tprofile with
+          | None -> Alcotest.fail "profile column missing"
+          | Some w ->
+              let sim = r.Experiments.ttiled in
+              let dev =
+                Float.abs (sim -. float_of_int w) /. Float.max 1.0 sim
+              in
+              if dev > 0.05 then
+                Alcotest.failf "%s/%s: sim %.0f vs interp %d" name
+                  r.Experiments.tinput sim w)
+        rows)
+    [ "sumrows"; "gemm"; "matvec"; "outerprod" ]
+
+let () =
+  Alcotest.run "profile"
+    [ ( "profile",
+        [ Alcotest.test_case "untiled IR counts" `Quick test_untiled_counts;
+          Alcotest.test_case "tiled counts = fig5c" `Quick
+            test_tiled_counts_match_fig5c;
+          Alcotest.test_case "interp = simulator" `Quick test_matches_simulator;
+          Alcotest.test_case "window reuse discount" `Quick test_reuse_discount;
+          Alcotest.test_case "hook restored" `Quick test_hook_restored ] );
+      ( "traffic report",
+        [ Alcotest.test_case "kmeans centroids ratio" `Quick test_traffic_rows;
+          Alcotest.test_case "interp cross-check" `Quick
+            test_traffic_profile_cross_check ] ) ]

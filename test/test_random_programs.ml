@@ -1,0 +1,282 @@
+(* Randomized whole-pipeline testing: generate random parallel-pattern
+   programs (random shapes from a template grammar, random scalar bodies,
+   random sizes and tile configurations), push each through the full
+   tiling pipeline, and check the result against the untiled program with
+   the reference interpreter — in both evaluation modes. *)
+
+module R = Workloads.Rng
+
+(* ---------------- random scalar expressions ---------------- *)
+
+(* a random float-valued expression over the given float-valued atoms *)
+let rec gen_scalar rng depth atoms =
+  let n_atoms = List.length atoms in
+  if depth = 0 || R.int rng 4 = 0 then
+    if n_atoms > 0 && R.int rng 4 > 0 then List.nth atoms (R.int rng n_atoms)
+    else Ir.Cf (float_of_int (R.int rng 9) /. 2.0)
+  else
+    let a = gen_scalar rng (depth - 1) atoms in
+    let b = gen_scalar rng (depth - 1) atoms in
+    match R.int rng 6 with
+    | 0 -> Ir.Prim (Ir.Add, [ a; b ])
+    | 1 -> Ir.Prim (Ir.Sub, [ a; b ])
+    | 2 -> Ir.Prim (Ir.Mul, [ a; b ])
+    | 3 -> Ir.Prim (Ir.Min, [ a; b ])
+    | 4 -> Ir.Prim (Ir.Max, [ a; b ])
+    | _ -> Ir.If (Ir.Prim (Ir.Lt, [ a; Ir.Cf 0.5 ]), a, b)
+
+(* ---------------- program templates ---------------- *)
+
+type setup = {
+  prog : Ir.program;
+  n : Sym.t;
+  m : Sym.t;
+  x1 : Ir.input;  (* float vector of length n *)
+  x2 : Ir.input;  (* float matrix n x m *)
+}
+
+let make_setup rng shape_id =
+  let open Dsl in
+  let n = size "n" and m = size "m" in
+  let x1 = input "x1" Ty.float_ [ Ir.Var n ] in
+  let x2 = input "x2" Ty.float_ [ Ir.Var n; Ir.Var m ] in
+  let v1 i = read (in_var x1) [ i ] in
+  let v2 i j = read (in_var x2) [ i; j ] in
+  let sc atoms = gen_scalar rng 2 atoms in
+  let body =
+    match shape_id with
+    | 0 ->
+        (* element-wise map *)
+        map1 (dfull (Ir.Var n)) (fun i -> sc [ v1 i ])
+    | 1 ->
+        (* 2-D map *)
+        map2d (dfull (Ir.Var n)) (dfull (Ir.Var m)) (fun i j ->
+            sc [ v1 i; v2 i j ])
+    | 2 ->
+        (* scalar reduction *)
+        fold1 (dfull (Ir.Var n)) ~init:(f 0.0)
+          ~comb:(fun a b -> a +! b)
+          (fun i acc -> acc +! sc [ v1 i ])
+    | 3 ->
+        (* producer-consumer: map feeding a fold (vertical fusion food) *)
+        let_ ~name:"t"
+          (map1 (dfull (Ir.Var n)) (fun i -> sc [ v1 i ]))
+          (fun t ->
+            fold1 (dfull (Ir.Var n)) ~init:(f 0.0)
+              ~comb:(fun a b -> a +! b)
+              (fun i acc -> acc +! read t [ i ]))
+    | 4 ->
+        (* map of folds: interchange rule 1 candidate *)
+        map1 (dfull (Ir.Var n)) (fun i ->
+            fold1 (dfull (Ir.Var m)) ~init:(f 0.0)
+              ~comb:(fun a b -> a +! b)
+              (fun j acc -> acc +! sc [ v1 i; v2 i j ]))
+    | 5 ->
+        (* row sums as MultiFold with unit regions (localization food) *)
+        multifold
+          [ dfull (Ir.Var n); dfull (Ir.Var m) ]
+          ~init:(zeros Ty.Float [ Ir.Var n ])
+          ~comb:(fun a b ->
+            map1 (dfull (Ir.Var n)) (fun i -> read a [ i ] +! read b [ i ]))
+          (fun idxs ->
+            match idxs with
+            | [ i; j ] ->
+                [ { range = [ Ir.Var n ];
+                    region = point [ i ];
+                    upd = (fun acc -> acc +! sc [ v2 i j ]) } ]
+            | _ -> assert false)
+    | 6 ->
+        (* filter then reduce over the dynamic result *)
+        let_ ~name:"kept"
+          (flatmap (dfull (Ir.Var n)) (fun i ->
+               if_ (v1 i >! f 0.5) (arr [ sc [ v1 i ] ]) (empty Ty.float_)))
+          (fun kept ->
+            fold1 (dfull (len kept 0)) ~init:(f 0.0)
+              ~comb:(fun a b -> a +! b)
+              (fun j acc -> acc +! read kept [ j ]))
+    | 7 ->
+        (* group-by-fold with small integer keys *)
+        groupbyfold (dfull (Ir.Var n)) ~init:(f 0.0)
+          ~comb:(fun a b -> a +! b)
+          (fun i ->
+            ( to_int (v1 i *! f 4.0),
+              fun acc -> acc +! sc [ v1 i ] ))
+    | 8 ->
+        (* column sums: fold of a map (interchange rule 2 candidate) *)
+        fold1 (dfull (Ir.Var n))
+          ~init:(zeros Ty.Float [ Ir.Var m ])
+          ~comb:(fun a b ->
+            map1 (dfull (Ir.Var m)) (fun j -> read a [ j ] +! read b [ j ]))
+          (fun i acc ->
+            map1 (dfull (Ir.Var m)) (fun j -> read acc [ j ] +! v2 i j))
+    | _ ->
+        (* two maps then a combining fold (horizontal fusion food) *)
+        let_ ~name:"ta"
+          (map1 (dfull (Ir.Var n)) (fun i -> sc [ v1 i ]))
+          (fun ta ->
+            let_ ~name:"tb"
+              (map1 (dfull (Ir.Var n)) (fun i -> sc [ v1 i ]))
+              (fun tb ->
+                fold1 (dfull (Ir.Var n)) ~init:(f 0.0)
+                  ~comb:(fun a b -> a +! b)
+                  (fun i acc -> acc +! (read ta [ i ] *! read tb [ i ]))))
+  in
+  let prog =
+    program ~name:(Printf.sprintf "rand%d" shape_id) ~sizes:[ n; m ]
+      ~max_sizes:[ (n, 1 lsl 16); (m, 1 lsl 16) ]
+      ~inputs:[ x1; x2 ] body
+  in
+  { prog; n; m; x1; x2 }
+
+let n_shapes = 10
+
+(* ---------------- the property ---------------- *)
+
+let run_case seed =
+  let rng = R.make seed in
+  let shape_id = R.int rng n_shapes in
+  let s = make_setup rng shape_id in
+  ignore (Validate.check_program s.prog);
+  let nv = 1 + R.int rng 24 and mv = 1 + R.int rng 12 in
+  let bn = 1 + R.int rng 8 and bm = 1 + R.int rng 8 in
+  let tiles =
+    List.concat
+      [ (if R.int rng 4 > 0 then [ (s.n, bn) ] else []);
+        (if R.int rng 4 > 0 then [ (s.m, bm) ] else []) ]
+  in
+  let fuse_filters = R.int rng 2 = 0 in
+  let result = Tiling.run ~fuse_filters ~tiles s.prog in
+  ignore (Validate.check_program result.Tiling.tiled);
+  let irng = R.make (seed * 7 + 1) in
+  let inputs =
+    [ (s.x1.Ir.iname, Workloads.value_of_vector (Workloads.float_vector irng nv));
+      (s.x2.Ir.iname, Workloads.value_of_matrix (Workloads.float_matrix irng nv mv))
+    ]
+  in
+  let sizes = [ (s.n, nv); (s.m, mv) ] in
+  let reference = Eval.eval_program s.prog ~sizes ~inputs in
+  let stages =
+    [ ("fused", result.Tiling.fused);
+      ("stripped", result.Tiling.stripped);
+      ("stripped+copies", result.Tiling.stripped_with_copies);
+      ("tiled", result.Tiling.tiled) ]
+  in
+  List.iter
+    (fun (name, prog) ->
+      let v = Eval.eval_program prog ~sizes ~inputs in
+      if not (Value.equal ~eps:1e-5 reference v) then
+        QCheck.Test.fail_reportf
+          "shape %d seed %d (%s, tiles=%s, n=%d, m=%d):@.expected %s@.got %s"
+          shape_id seed name
+          (String.concat ","
+             (List.map (fun (_, b) -> string_of_int b) tiles))
+          nv mv
+          (Value.to_string reference) (Value.to_string v);
+      (* chunked mode exercises generated combine functions *)
+      let vc = Eval.eval_program ~mode:(Eval.Chunked 3) prog ~sizes ~inputs in
+      if not (Value.equal ~eps:1e-5 reference vc) then
+        QCheck.Test.fail_reportf "shape %d seed %d (%s, chunked) mismatch"
+          shape_id seed name)
+    stages;
+  true
+
+let prop_pipeline =
+  QCheck.Test.make ~name:"random programs: full pipeline equivalence"
+    ~count:120
+    QCheck.(int_range 0 1_000_000)
+    run_case
+
+(* the generated hardware must also be constructible and simulable *)
+let prop_lowering_total =
+  QCheck.Test.make ~name:"random programs: lowering and simulation total"
+    ~count:40
+    QCheck.(int_range 0 1_000_000)
+    (fun seed ->
+      let rng = R.make seed in
+      let shape_id = R.int rng n_shapes in
+      let s = make_setup rng shape_id in
+      let tiles = [ (s.n, 8); (s.m, 4) ] in
+      let result = Tiling.run ~tiles s.prog in
+      List.iter
+        (fun opts ->
+          let d = Lower.program opts result.Tiling.tiled in
+          (match Hw_check.check d with
+          | [] -> ()
+          | fs ->
+              QCheck.Test.fail_reportf "shape %d seed %d: malformed design: %s"
+                shape_id seed
+                (String.concat "; "
+                   (List.map (Format.asprintf "%a" Hw_check.pp_finding) fs)));
+          let sizes = [ (s.n, 512); (s.m, 32) ] in
+          let rep = Simulate.run d ~sizes in
+          if not (rep.Simulate.cycles > 0.0) then
+            QCheck.Test.fail_reportf "shape %d: zero cycles" shape_id;
+          let e = Event_sim.run d ~sizes in
+          let ratio = e.Event_sim.report.Simulate.cycles /. rep.Simulate.cycles in
+          if ratio < 0.5 || ratio > 2.0 then
+            QCheck.Test.fail_reportf
+              "shape %d seed %d: engines disagree (%.2f)" shape_id seed ratio;
+          ignore (Area_model.of_design d))
+        [ Lower.default_opts; { Lower.default_opts with Lower.meta = false } ];
+      true)
+
+(* printed text of any stage parses back to a program with identical
+   semantics — the concrete syntax is total over the transformation
+   pipeline, not just over the hand-written suite *)
+let prop_parser_roundtrip =
+  QCheck.Test.make ~name:"random programs: printer/parser roundtrip" ~count:60
+    QCheck.(int_range 0 1_000_000)
+    (fun seed ->
+      let rng = R.make seed in
+      let shape_id = R.int rng n_shapes in
+      let s = make_setup rng shape_id in
+      let tiles = [ (s.n, 1 + R.int rng 8); (s.m, 1 + R.int rng 8) ] in
+      let result = Tiling.run ~tiles s.prog in
+      let nv = 1 + R.int rng 24 and mv = 1 + R.int rng 12 in
+      let irng = R.make (seed * 11 + 3) in
+      let x1v = Workloads.value_of_vector (Workloads.float_vector irng nv) in
+      let x2v = Workloads.value_of_matrix (Workloads.float_matrix irng nv mv) in
+      let sizes = [ (s.n, nv); (s.m, mv) ] in
+      let inputs = [ (s.x1.Ir.iname, x1v); (s.x2.Ir.iname, x2v) ] in
+      let reference = Eval.eval_program s.prog ~sizes ~inputs in
+      List.iter
+        (fun (name, (prog : Ir.program)) ->
+          let text = Pp.program_to_string prog in
+          let parsed =
+            try Parser.program_of_string text
+            with Parser.Parse_error m ->
+              QCheck.Test.fail_reportf
+                "shape %d seed %d (%s): parse error %s@.%s" shape_id seed name
+                m text
+          in
+          ignore (Validate.check_program parsed);
+          let sizes' =
+            List.map
+              (fun sym ->
+                ( sym,
+                  if Sym.base sym = Sym.base s.n then nv
+                  else mv ))
+              parsed.Ir.size_params
+          in
+          let inputs' =
+            List.map2
+              (fun (pi : Ir.input) (_, v) -> (pi.Ir.iname, v))
+              parsed.Ir.inputs inputs
+          in
+          let v = Eval.eval_program parsed ~sizes:sizes' ~inputs:inputs' in
+          if not (Value.equal ~eps:1e-5 reference v) then
+            QCheck.Test.fail_reportf
+              "shape %d seed %d (%s): roundtrip changed semantics" shape_id
+              seed name)
+        [ ("source", s.prog);
+          ("fused", result.Tiling.fused);
+          ("tiled", result.Tiling.tiled) ];
+      true)
+
+let () =
+  Alcotest.run "random_programs"
+    [ ( "pipeline",
+        [ QCheck_alcotest.to_alcotest prop_pipeline;
+          QCheck_alcotest.to_alcotest prop_lowering_total ] );
+      ( "parser",
+        [ QCheck_alcotest.to_alcotest prop_parser_roundtrip ] ) ]

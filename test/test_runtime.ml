@@ -1,0 +1,72 @@
+(* Host runtime model. *)
+
+(* one shared instance: Suite.all () mints fresh symbols per call, so the
+   design and the size bindings must come from the same bench value *)
+let the_bench = lazy (Suite.find (Suite.all ()) "kmeans")
+let the_design = lazy (Experiments.design_of Experiments.Tiled_meta (Lazy.force the_bench))
+let bench () = Lazy.force the_bench
+let design () = Lazy.force the_design
+
+let test_components_add_up () =
+  let b = bench () in
+  let s =
+    Runtime.run (design ()) ~sizes:b.Suite.sim_sizes ~input_bytes:1e6
+      ~output_bytes:1e4 ~invocations:5
+  in
+  let sum = s.Runtime.device_s +. s.Runtime.transfer_s +. s.Runtime.overhead_s in
+  Alcotest.(check bool) "total = sum" true
+    (Float.abs (s.Runtime.total_s -. sum) < 1e-12);
+  Alcotest.(check bool) "device = 5x per-invocation" true
+    (Float.abs (s.Runtime.device_s -. (5.0 *. s.Runtime.per_invocation_s))
+    < 1e-12)
+
+let test_transfer_amortizes () =
+  (* input copied once: per-iteration cost decreases with invocations *)
+  let b = bench () in
+  let run n =
+    let s =
+      Runtime.run (design ()) ~sizes:b.Suite.sim_sizes ~input_bytes:1e9
+        ~output_bytes:1e3 ~invocations:n
+    in
+    s.Runtime.total_s /. float_of_int n
+  in
+  Alcotest.(check bool) "amortization" true (run 100 < run 1)
+
+let test_custom_host () =
+  let b = bench () in
+  let slow =
+    { Runtime.pcie_bytes_per_sec = 1e8; invocation_overhead_s = 1e-3 }
+  in
+  let s_fast =
+    Runtime.run (design ()) ~sizes:b.Suite.sim_sizes ~input_bytes:1e8
+      ~output_bytes:1e4 ~invocations:3
+  in
+  let s_slow =
+    Runtime.run ~host:slow (design ()) ~sizes:b.Suite.sim_sizes
+      ~input_bytes:1e8 ~output_bytes:1e4 ~invocations:3
+  in
+  Alcotest.(check bool) "slower host costs more" true
+    (s_slow.Runtime.total_s > s_fast.Runtime.total_s)
+
+let test_tiling_config_validation () =
+  (* Tiling.run rejects unknown size symbols and non-positive tiles *)
+  let t = Gemm.make () in
+  let stranger = Dsl.size "stranger" in
+  Alcotest.check_raises "unknown size symbol"
+    (Invalid_argument
+       (Printf.sprintf "Tiling.run: %s is not a size parameter of gemm"
+          (Sym.name stranger)))
+    (fun () -> ignore (Tiling.run ~tiles:[ (stranger, 8) ] t.Gemm.prog));
+  Alcotest.check_raises "non-positive tile"
+    (Invalid_argument
+       (Printf.sprintf "Tiling.run: tile size 0 for %s" (Sym.name t.Gemm.m)))
+    (fun () -> ignore (Tiling.run ~tiles:[ (t.Gemm.m, 0) ] t.Gemm.prog))
+
+let () =
+  Alcotest.run "runtime"
+    [ ( "runtime",
+        [ Alcotest.test_case "components" `Quick test_components_add_up;
+          Alcotest.test_case "amortization" `Quick test_transfer_amortizes;
+          Alcotest.test_case "custom host" `Quick test_custom_host;
+          Alcotest.test_case "tiling config validation" `Quick
+            test_tiling_config_validation ] ) ]

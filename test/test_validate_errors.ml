@@ -1,0 +1,209 @@
+(* Negative tests: every class of Type_error the validator raises, plus
+   the interpreter's dynamic errors.  These pin down the restrictions of
+   Section 3 (no nested arrays, 1-D dynamic patterns, typed combines). *)
+
+open Dsl
+
+let rejects ?(msg = "") e =
+  match Validate.infer Sym.Map.empty e with
+  | exception Validate.Type_error _ -> ()
+  | t ->
+      Alcotest.failf "expected Type_error %s, inferred %s" msg (Ty.to_string t)
+
+let accepts e = ignore (Validate.infer Sym.Map.empty e)
+
+let test_unbound () = rejects ~msg:"unbound" (Ir.Var (Sym.fresh "ghost"))
+
+let test_projection () =
+  rejects ~msg:"proj on scalar" (fst_ (f 1.0));
+  rejects ~msg:"proj out of range" (Ir.Proj (pair (f 1.0) (i 2), 5));
+  accepts (fst_ (pair (f 1.0) (i 2)))
+
+let test_if () =
+  rejects ~msg:"non-bool condition" (if_ (i 1) (i 2) (i 3));
+  rejects ~msg:"branch mismatch" (if_ (b true) (i 2) (f 3.0));
+  accepts (if_ (b true) (i 2) (i 3))
+
+let test_arith () =
+  rejects ~msg:"int + float" (i 1 +! f 2.0);
+  rejects ~msg:"mod on floats" (f 1.0 %! f 2.0);
+  rejects ~msg:"and on ints" (i 1 &&! i 0);
+  rejects ~msg:"sqrt on int" (sqrt_ (i 4));
+  rejects ~msg:"toFloat on float" (to_float (f 1.0));
+  rejects ~msg:"comparison across types" (i 1 <! f 2.0);
+  rejects ~msg:"prim arity" (Ir.Prim (Ir.Add, [ i 1 ]));
+  accepts (to_float (i 1) +! f 2.0)
+
+let test_arrays () =
+  let arr1 = map1 (dfull (i 3)) (fun x -> x) in
+  rejects ~msg:"read arity" (read arr1 [ i 0; i 1 ]);
+  rejects ~msg:"read float index" (read arr1 [ f 0.0 ]);
+  rejects ~msg:"dim out of range" (len arr1 3);
+  rejects ~msg:"slice spec count" (slice arr1 [ Ir.SAll; Ir.SAll ]);
+  rejects ~msg:"read on scalar" (read (i 1) [ i 0 ]);
+  rejects ~msg:"mixed array literal" (arr [ i 1; f 2.0 ]);
+  rejects ~msg:"empty ArrLit" (Ir.ArrLit []);
+  accepts (read arr1 [ i 0 ])
+
+let test_copy () =
+  let arr1 = map1 (dfull (i 8)) (fun x -> x) in
+  rejects ~msg:"reuse < 1"
+    (Ir.Copy { csrc = arr1; cdims = [ Ir.Call ]; creuse = 0 });
+  rejects ~msg:"spec count"
+    (Ir.Copy { csrc = arr1; cdims = [ Ir.Call; Ir.Call ]; creuse = 1 });
+  rejects ~msg:"rank-0 copy"
+    (Ir.Copy { csrc = arr1; cdims = [ Ir.Cfix (i 0) ]; creuse = 1 });
+  accepts (Ir.Copy { csrc = arr1; cdims = [ Ir.Call ]; creuse = 1 })
+
+let test_nested_arrays () =
+  rejects ~msg:"map of arrays"
+    (map1 (dfull (i 3)) (fun _ -> map1 (dfull (i 2)) (fun x -> x)));
+  rejects ~msg:"zeros of array elt"
+    (Ir.Zeros (Ty.Array (Ty.float_, 1), [ i 3 ]));
+  rejects ~msg:"array literal of arrays"
+    (Ir.ArrLit [ map1 (dfull (i 2)) (fun x -> x) ])
+
+let test_fold () =
+  rejects ~msg:"update type change"
+    (fold1 (dfull (i 4)) ~init:(f 0.0)
+       ~comb:(fun a b -> a +! b)
+       (fun idx _acc -> idx));
+  rejects ~msg:"comb type change"
+    (Ir.Fold
+       { fdims = [ Ir.Dfull (i 4) ];
+         fidxs = [ Sym.fresh "i" ];
+         finit = f 0.0;
+         facc = Sym.fresh "acc";
+         fupd = f 1.0;
+         fcomb =
+           (let a = Sym.fresh "a" and b = Sym.fresh "b" in
+            (* a comparison: Bool, not the Float accumulator type *)
+            { Ir.ca = a; cb = b;
+              cbody = Ir.Prim (Ir.Lt, [ Ir.Var a; Ir.Var b ]) }) })
+
+let test_multifold () =
+  (* region rank must match range rank *)
+  rejects ~msg:"region rank"
+    (multifold [ dfull (i 4) ]
+       ~init:(zeros Ty.Float [ i 4; i 2 ])
+       ~comb:(fun a _ -> a)
+       (fun idxs ->
+         [ { range = [ i 4; i 2 ]; region = point idxs; upd = (fun acc -> acc) } ]));
+  (* output count must match init tuple *)
+  rejects ~msg:"output count"
+    (Ir.MultiFold
+       { odims = [ Ir.Dfull (i 4) ];
+         oidxs = [ Sym.fresh "i" ];
+         oinit = tup [ zeros Ty.Float [ i 4 ]; zeros Ty.Float [ i 4 ]; zeros Ty.Float [ i 4 ] ];
+         olets = [];
+         oouts =
+           [ { orange = [ i 4 ]; oregion = [ (i 0, i 1, Some 1) ];
+               oacc = Sym.fresh "acc"; oupd = f 0.0 } ];
+         ocomb = None });
+  (* no outputs at all *)
+  rejects ~msg:"no outputs"
+    (Ir.MultiFold
+       { odims = [ Ir.Dfull (i 4) ];
+         oidxs = [ Sym.fresh "i" ];
+         oinit = f 0.0;
+         olets = [];
+         oouts = [];
+         ocomb = None })
+
+let test_flatmap () =
+  rejects ~msg:"scalar body"
+    (Ir.FlatMap { fmdim = Ir.Dfull (i 3); fmidx = Sym.fresh "i"; fmbody = f 1.0 })
+
+let test_groupbyfold () =
+  (* non-scalar bucket *)
+  rejects ~msg:"array bucket"
+    (Ir.GroupByFold
+       { gdims = [ Ir.Dfull (i 3) ];
+         gidxs = [ Sym.fresh "i" ];
+         ginit = zeros Ty.Float [ i 2 ];
+         glets = [];
+         gkey = i 0;
+         gacc = Sym.fresh "acc";
+         gupd = zeros Ty.Float [ i 2 ];
+         gcomb =
+           (let a = Sym.fresh "a" and b = Sym.fresh "b" in
+            { Ir.ca = a; cb = b; cbody = Ir.Var a }) })
+
+let test_domains () =
+  (* Dtail with unbound outer *)
+  rejects ~msg:"unbound Dtail outer"
+    (Ir.Map
+       { mdims = [ Ir.Dtail { total = i 8; tile = 4; outer = Sym.fresh "ghost" } ];
+         midxs = [ Sym.fresh "i" ];
+         mbody = f 1.0 });
+  (* index/domain count mismatch *)
+  rejects ~msg:"idx count"
+    (Ir.Map
+       { mdims = [ Ir.Dfull (i 3); Ir.Dfull (i 4) ];
+         midxs = [ Sym.fresh "i" ];
+         mbody = f 1.0 });
+  (* float domain size *)
+  rejects ~msg:"float domain" (map1 (dfull (f 3.0)) (fun _ -> f 1.0))
+
+let test_program_checks () =
+  (* input with non-int shape *)
+  let n = Dsl.size "n" in
+  let bad = { Ir.iname = Sym.fresh "x"; ielt = Ty.float_; ishape = [ f 3.0 ] } in
+  let p =
+    Dsl.program ~name:"bad" ~sizes:[ n ] ~inputs:[ bad ] (f 1.0)
+  in
+  (match Validate.check_program p with
+  | exception Validate.Type_error _ -> ()
+  | _ -> Alcotest.fail "expected shape rejection");
+  (* input with array element type *)
+  let bad2 =
+    { Ir.iname = Sym.fresh "x"; ielt = Ty.Array (Ty.float_, 1);
+      ishape = [ Ir.Var n ] }
+  in
+  let p2 = Dsl.program ~name:"bad2" ~sizes:[ n ] ~inputs:[ bad2 ] (f 1.0) in
+  match Validate.check_program p2 with
+  | exception Validate.Type_error _ -> ()
+  | _ -> Alcotest.fail "expected element type rejection"
+
+(* ---------------- dynamic (interpreter) errors ---------------- *)
+
+let eval_rejects ?(msg = "") thunk =
+  match thunk () with
+  | exception Eval.Eval_error _ -> ()
+  | exception Ndarray.Shape_error _ -> ()
+  | v -> Alcotest.failf "expected runtime error %s, got %s" msg (Value.to_string v)
+
+let test_eval_errors () =
+  eval_rejects ~msg:"unbound" (fun () ->
+      Eval.eval Sym.Map.empty (Ir.Var (Sym.fresh "ghost")));
+  eval_rejects ~msg:"type confusion" (fun () ->
+      Eval.eval Sym.Map.empty (Ir.Prim (Ir.Add, [ i 1; f 2.0 ])));
+  eval_rejects ~msg:"out of bounds" (fun () ->
+      Eval.eval Sym.Map.empty (read (map1 (dfull (i 2)) (fun x -> x)) [ i 7 ]));
+  (* missing size / missing input *)
+  let n = Dsl.size "n" in
+  let x = Dsl.input "x" Ty.float_ [ Ir.Var n ] in
+  let p = Dsl.program ~name:"p" ~sizes:[ n ] ~inputs:[ x ] (f 1.0) in
+  eval_rejects ~msg:"missing size" (fun () ->
+      Eval.eval_program p ~sizes:[] ~inputs:[]);
+  eval_rejects ~msg:"missing input" (fun () ->
+      Eval.eval_program p ~sizes:[ (n, 3) ] ~inputs:[])
+
+let () =
+  Alcotest.run "validate_errors"
+    [ ( "static",
+        [ Alcotest.test_case "unbound" `Quick test_unbound;
+          Alcotest.test_case "projection" `Quick test_projection;
+          Alcotest.test_case "if" `Quick test_if;
+          Alcotest.test_case "arith" `Quick test_arith;
+          Alcotest.test_case "arrays" `Quick test_arrays;
+          Alcotest.test_case "copy" `Quick test_copy;
+          Alcotest.test_case "nested arrays" `Quick test_nested_arrays;
+          Alcotest.test_case "fold" `Quick test_fold;
+          Alcotest.test_case "multifold" `Quick test_multifold;
+          Alcotest.test_case "flatmap" `Quick test_flatmap;
+          Alcotest.test_case "groupbyfold" `Quick test_groupbyfold;
+          Alcotest.test_case "domains" `Quick test_domains;
+          Alcotest.test_case "program inputs" `Quick test_program_checks ] );
+      ( "dynamic",
+        [ Alcotest.test_case "interpreter errors" `Quick test_eval_errors ] ) ]
