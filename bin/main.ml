@@ -308,11 +308,12 @@ let compile_cmd =
     print_endline (Pp.program_to_string r.Tiling.tiled);
     let d = Lower.program Lower.default_opts r.Tiling.tiled in
     print_string (Hw_pp.design_to_string d);
-    (match Hw_check.check d with
+    (match Hw_lint.check_all d with
     | [] -> print_endline "design check: ok"
     | fs ->
-        List.iter (fun f -> Format.printf "design check: %a@." Hw_check.pp_finding f) fs;
-        exit 1);
+        List.iter (fun f -> Format.printf "design check: %a@." Diagnostic.pp f) fs;
+        if Diagnostic.has_errors fs then exit 1
+        else Printf.printf "design check: ok (%s)\n" (Diagnostic.summary fs));
     match resolve sizes_spec with
     | [] -> ignore engine
     | sizes ->
@@ -473,7 +474,8 @@ let check_cmd =
          (List.length fs - v - List.length (Bounds.unproven fs))
          (List.length (Bounds.unproven fs))
          v);
-    (* 5. every configuration's design passes the hardware validator *)
+    (* 5. every configuration's design passes the hardware validator and
+       is lint-clean at error severity *)
     List.iter
       (fun cfg ->
         let d = Experiments.design_of cfg bench in
@@ -482,7 +484,17 @@ let check_cmd =
           ("design: " ^ Experiments.config_name cfg)
           (fs = [])
           (String.concat "; "
-             (List.map (Format.asprintf "%a" Hw_check.pp_finding) fs)))
+             (List.map (Format.asprintf "%a" Diagnostic.pp) fs));
+        let ls = Hw_lint.check d in
+        report
+          ("lint: " ^ Experiments.config_name cfg)
+          (not (Diagnostic.has_errors ls))
+          (if Diagnostic.has_errors ls then
+             String.concat "; "
+               (List.map
+                  (Format.asprintf "%a" Diagnostic.pp)
+                  (Diagnostic.errors ls))
+           else Diagnostic.summary ls))
       [ Experiments.Baseline; Experiments.Tiled; Experiments.Tiled_meta ];
     (* 6. the two simulation engines agree on the final design *)
     let d = Experiments.design_of Experiments.Tiled_meta bench in
@@ -511,6 +523,68 @@ let check_cmd =
           program, printer/parser roundtrip, static bounds, analytic/event \
           engine agreement, and chip fit.")
     Term.(const run $ bench_opt)
+
+let lint_cmd =
+  let bench_opt =
+    Arg.(
+      value
+      & pos 0 (some bench_conv) None
+      & info [] ~docv:"BENCH"
+          ~doc:"Benchmark to lint; omitted = the whole suite.")
+  in
+  let json_flag =
+    Arg.(
+      value & flag
+      & info [ "json" ]
+          ~doc:
+            "Machine-readable output: a JSON array of per-design objects, \
+             each with the design name and its diagnostics.")
+  in
+  let run bench_opt config json =
+    let targets =
+      match bench_opt with Some b -> [ b ] | None -> benches ()
+    in
+    let results =
+      List.map
+        (fun (b : Suite.bench) ->
+          let d = Experiments.design_of config b in
+          (b.Suite.name, d.Hw.design_name, Hw_lint.check_all d))
+        targets
+    in
+    if json then
+      Printf.printf "[%s]\n"
+        (String.concat ", "
+           (List.map
+              (fun (bench, design, ds) ->
+                Printf.sprintf
+                  "{\"bench\": \"%s\", \"design\": \"%s\", \"config\": \
+                   \"%s\", \"summary\": \"%s\", \"diagnostics\": %s}"
+                  bench design
+                  (Experiments.config_name config)
+                  (Diagnostic.summary ds)
+                  (Diagnostic.list_to_json ds))
+              results))
+    else
+      List.iter
+        (fun (bench, _, ds) ->
+          Printf.printf "%s / %s: %s\n" bench
+            (Experiments.config_name config)
+            (Diagnostic.summary ds);
+          Format.printf "%a" Diagnostic.pp_list ds)
+        results;
+    if List.exists (fun (_, _, ds) -> Diagnostic.has_errors ds) results then
+      exit 1
+  in
+  Cmd.v
+    (Cmd.info "lint"
+       ~doc:
+         "Run the design-level static analyzer on a benchmark (or the \
+          suite): structural validation (Hw_check) plus semantic lints — \
+          metapipeline write-after-read races, banking and port conflicts, \
+          FIFO rate/deadlock analysis, tile-capacity overflows, and \
+          performance hints.  Codes are cataloged in doc/LINTS.md.  Exits \
+          non-zero iff any error-severity diagnostic is produced.")
+    Term.(const run $ bench_opt $ config_arg $ json_flag)
 
 let fig7_cmd =
   let run () = Experiments.print_fig7 (Experiments.fig7 (Suite.all ())) in
@@ -554,5 +628,6 @@ let () =
     (Cmd.eval ~argv
        (Cmd.group ~default info
           [ list_cmd; ir_cmd; design_cmd; maxj_cmd; dot_cmd; simulate_cmd;
-            verify_cmd; check_cmd; traffic_cmd; stats_cmd; bounds_cmd;
-            compile_cmd; dse_cmd; export_cmd; fig5c_cmd; fig7_cmd ]))
+            verify_cmd; check_cmd; lint_cmd; traffic_cmd; stats_cmd;
+            bounds_cmd; compile_cmd; dse_cmd; export_cmd; fig5c_cmd;
+            fig7_cmd ]))

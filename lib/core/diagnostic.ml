@@ -1,0 +1,94 @@
+type severity = Error | Warning | Info
+
+type t = {
+  code : string;
+  severity : severity;
+  path : string list;
+  where : string;
+  message : string;
+}
+
+let make ?(path = []) ~code ~severity ~where fmt =
+  Printf.ksprintf
+    (fun message -> { code; severity; path; where; message })
+    fmt
+
+let severity_name = function
+  | Error -> "error"
+  | Warning -> "warning"
+  | Info -> "info"
+
+let severity_rank = function Error -> 0 | Warning -> 1 | Info -> 2
+
+let compare a b =
+  match Int.compare (severity_rank a.severity) (severity_rank b.severity) with
+  | 0 -> (
+      match String.compare a.code b.code with
+      | 0 -> (
+          match
+            Stdlib.compare (a.path @ [ a.where ]) (b.path @ [ b.where ])
+          with
+          | 0 -> String.compare a.message b.message
+          | c -> c)
+      | c -> c)
+  | c -> c
+
+let errors ds = List.filter (fun d -> d.severity = Error) ds
+let has_errors ds = List.exists (fun d -> d.severity = Error) ds
+
+let summary ds =
+  let count s = List.length (List.filter (fun d -> d.severity = s) ds) in
+  let plural n word = Printf.sprintf "%d %s%s" n word (if n = 1 then "" else "s") in
+  match
+    List.filter_map
+      (fun (s, word) ->
+        let n = count s in
+        if n = 0 then None else Some (plural n word))
+      [ (Error, "error"); (Warning, "warning"); (Info, "info") ]
+  with
+  | [] -> "clean"
+  | parts -> String.concat ", " parts
+
+let pp_path fmt = function
+  | [] -> ()
+  | path -> Format.fprintf fmt " [%s]" (String.concat "/" path)
+
+let pp fmt d =
+  Format.fprintf fmt "%s %s%a: %s: %s" d.code (severity_name d.severity)
+    pp_path d.path d.where d.message
+
+let pp_list fmt ds =
+  List.iter (fun d -> Format.fprintf fmt "%a@." pp d) (List.sort compare ds)
+
+(* hand-rolled JSON: the repo carries no JSON library and the shape is
+   flat, so escaping strings is the only subtlety *)
+let json_string s =
+  let buf = Buffer.create (String.length s + 2) in
+  Buffer.add_char buf '"';
+  String.iter
+    (fun c ->
+      match c with
+      | '"' -> Buffer.add_string buf "\\\""
+      | '\\' -> Buffer.add_string buf "\\\\"
+      | '\n' -> Buffer.add_string buf "\\n"
+      | '\t' -> Buffer.add_string buf "\\t"
+      | '\r' -> Buffer.add_string buf "\\r"
+      | c when Char.code c < 0x20 ->
+          Buffer.add_string buf (Printf.sprintf "\\u%04x" (Char.code c))
+      | c -> Buffer.add_char buf c)
+    s;
+  Buffer.add_char buf '"';
+  Buffer.contents buf
+
+let to_json d =
+  Printf.sprintf
+    "{\"code\": %s, \"severity\": %s, \"path\": [%s], \"where\": %s, \
+     \"message\": %s}"
+    (json_string d.code)
+    (json_string (severity_name d.severity))
+    (String.concat ", " (List.map json_string d.path))
+    (json_string d.where)
+    (json_string d.message)
+
+let list_to_json ds =
+  "[" ^ String.concat ", " (List.map to_json (List.sort compare ds)) ^ "]"

@@ -147,6 +147,13 @@ let rec iter_ctrls f c =
   f c;
   List.iter (iter_ctrls f) (children c)
 
+let iter_ctrls_path f c =
+  let rec go path c =
+    f path c;
+    List.iter (go (path @ [ ctrl_name c ])) (children c)
+  in
+  go [] c
+
 let rec fold_ctrls f acc c =
   let acc = f acc c in
   List.fold_left (fold_ctrls f) acc (children c)

@@ -140,6 +140,11 @@ val iter_ctrls : (ctrl -> unit) -> ctrl -> unit
 (** Pre-order visit of the controller tree. *)
 
 val fold_ctrls : ('a -> ctrl -> 'a) -> 'a -> ctrl -> 'a
+
+val iter_ctrls_path : (string list -> ctrl -> unit) -> ctrl -> unit
+(** Pre-order visit carrying the names of the enclosing controllers,
+    outermost first (the root is visited with [[]]). *)
+
 val children : ctrl -> ctrl list
 val find_mem : design -> string -> mem
 (** @raise Not_found *)

@@ -22,7 +22,7 @@ let mem ?(kind = Hw.Buffer) name =
 let design ?(mems = []) top =
   { Hw.design_name = "t"; mems; top; par_factor = 4 }
 
-let problems d = List.map (fun f -> f.Hw_check.problem) (Hw_check.check d)
+let problems d = List.map (fun f -> f.Diagnostic.message) (Hw_check.check d)
 
 let has_problem d needle =
   List.exists
@@ -46,7 +46,7 @@ let test_generated_designs_clean () =
               Alcotest.failf "%s/%s: %s" b.Suite.name
                 (Experiments.config_name cfg)
                 (String.concat "; "
-                   (List.map (Format.asprintf "%a" Hw_check.pp_finding) fs)))
+                   (List.map (Format.asprintf "%a" Diagnostic.pp) fs)))
         [ Experiments.Baseline; Experiments.Tiled; Experiments.Tiled_meta ])
     (Suite.extended ())
 
@@ -129,6 +129,29 @@ let test_duplicate_names () =
   Alcotest.(check bool) "dup controller" true
     (has_problem d "duplicate controller name")
 
+let test_paths_and_codes () =
+  (* diagnostics carry stable codes and the full controller path *)
+  let bad_pipe = pipe ~defines:[ "ghost" ] "p" in
+  let d =
+    design
+      (Hw.Seq
+         { name = "top";
+           children =
+             [ Hw.Loop
+                 { name = "l";
+                   trips = [ Hw.Tconst 4.0 ];
+                   meta = false;
+                   stages = [ bad_pipe ] } ] })
+  in
+  let diag =
+    List.find (fun f -> f.Diagnostic.code = "HW004") (Hw_check.check d)
+  in
+  Alcotest.(check (list string)) "path to the referencing pipe"
+    [ "top"; "l"; "p" ] diag.Diagnostic.path;
+  Alcotest.(check string) "where" "ghost" diag.Diagnostic.where;
+  Alcotest.(check bool) "error severity" true
+    (diag.Diagnostic.severity = Diagnostic.Error)
+
 let test_check_exn () =
   let ok = design (pipe "p") in
   Hw_check.check_exn ok;
@@ -152,4 +175,5 @@ let () =
           Alcotest.test_case "consumerless fifo" `Quick test_fifo_needs_both_ends;
           Alcotest.test_case "bad pipe fields" `Quick test_bad_fields;
           Alcotest.test_case "duplicate names" `Quick test_duplicate_names;
+          Alcotest.test_case "paths and codes" `Quick test_paths_and_codes;
           Alcotest.test_case "check_exn" `Quick test_check_exn ] ) ]

@@ -206,7 +206,7 @@ let prop_lowering_total =
               QCheck.Test.fail_reportf "shape %d seed %d: malformed design: %s"
                 shape_id seed
                 (String.concat "; "
-                   (List.map (Format.asprintf "%a" Hw_check.pp_finding) fs)));
+                   (List.map (Format.asprintf "%a" Diagnostic.pp) fs)));
           let sizes = [ (s.n, 512); (s.m, 32) ] in
           let rep = Simulate.run d ~sizes in
           if not (rep.Simulate.cycles > 0.0) then
