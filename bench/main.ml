@@ -120,31 +120,37 @@ let print_ablations () =
   print_endline "Ablation: gemm tile-size sweep (cycles and BRAM at 1024^3)";
   let t = Gemm.make () in
   let sizes = [ (t.Gemm.m, 1024); (t.Gemm.n, 1024); (t.Gemm.p, 1024) ] in
-  List.iter
-    (fun b ->
-      let r =
-        Tiling.run
-          ~tiles:[ (t.Gemm.m, b); (t.Gemm.n, b); (t.Gemm.p, b) ]
-          t.Gemm.prog
-      in
-      let d = Lower.program Lower.default_opts r.Tiling.tiled in
-      let rep = Simulate.run d ~sizes in
-      let area = Area_model.of_design d in
-      Printf.printf "  b=%-4d %14.0f cycles %8.0f M20K %14.0f words read\n" b
-        rep.Simulate.cycles area.Area_model.bram (Simulate.total_read rep))
-    [ 16; 32; 64; 128; 256 ];
+  (* each point is an independent compile+simulate chain: fan out across
+     the pool, print in order *)
+  List.iter print_string
+    (Pool.map
+       (fun b ->
+         let r =
+           Tiling.run
+             ~tiles:[ (t.Gemm.m, b); (t.Gemm.n, b); (t.Gemm.p, b) ]
+             t.Gemm.prog
+         in
+         let d = Lower.program Lower.default_opts r.Tiling.tiled in
+         let rep = Simulate.run d ~sizes in
+         let area = Area_model.of_design d in
+         Printf.sprintf "  b=%-4d %14.0f cycles %8.0f M20K %14.0f words read\n"
+           b rep.Simulate.cycles area.Area_model.bram (Simulate.total_read rep))
+       [ 16; 32; 64; 128; 256 ]);
   print_newline ();
   print_endline "Ablation: kmeans parallelism-factor sweep (+tiling+meta)";
   let bench = Suite.find (Suite.all ()) "kmeans" in
   let r = Tiling.run ~tiles:bench.Suite.tiles bench.Suite.prog in
-  List.iter
-    (fun par ->
-      let d = Lower.program { Lower.default_opts with Lower.par } r.Tiling.tiled in
-      let rep = Simulate.run d ~sizes:bench.Suite.sim_sizes in
-      let area = Area_model.of_design d in
-      Printf.printf "  par=%-3d %14.0f cycles %10.0f logic\n" par
-        rep.Simulate.cycles area.Area_model.logic)
-    [ 4; 8; 16; 32; 64 ];
+  List.iter print_string
+    (Pool.map
+       (fun par ->
+         let d =
+           Lower.program { Lower.default_opts with Lower.par } r.Tiling.tiled
+         in
+         let rep = Simulate.run d ~sizes:bench.Suite.sim_sizes in
+         let area = Area_model.of_design d in
+         Printf.sprintf "  par=%-3d %14.0f cycles %10.0f logic\n" par
+           rep.Simulate.cycles area.Area_model.logic)
+       [ 4; 8; 16; 32; 64 ]);
   print_newline ();
   print_endline "Ablation: tpchq6 filter-reduce fusion (FIFO removed)";
   let q6 = Suite.find (Suite.all ()) "tpchq6" in
@@ -232,6 +238,44 @@ let print_ablations () =
               best.Dse.tiles))
         best.Dse.cycles best.Dse.area.Area_model.bram
   | None -> print_endline "  no feasible point");
+  print_newline ()
+
+(* ------------------------------------------------------------------ *)
+(* Parallel DSE wall-clock banner                                      *)
+(* ------------------------------------------------------------------ *)
+
+let print_parallel_dse () =
+  rule ();
+  let par_domains = Int.max 2 (Pool.default_domains ()) in
+  Printf.printf
+    "Parallel DSE — joint tile/par sweeps, wall-clock (recommended domain \
+     count %d; parallel leg uses %d)\n"
+    (Pool.default_domains ()) par_domains;
+  let time f =
+    let t0 = Unix.gettimeofday () in
+    let r = f () in
+    (r, Unix.gettimeofday () -. t0)
+  in
+  List.iter
+    (fun name ->
+      let bench = Suite.find (Suite.all ()) name in
+      let sweep domains () =
+        Dse.explore_bench ~domains ~pars:[ 4; 16; 64 ] bench
+      in
+      let seq, t_seq = time (sweep 1) in
+      let par, t_par = time (sweep par_domains) in
+      let identical =
+        seq.Dse.points = par.Dse.points && seq.Dse.best = par.Dse.best
+      in
+      Printf.printf
+        "  %-8s %3d points  1 domain %6.3fs  %d domains %6.3fs  speedup \
+         %.2fx  %s\n"
+        name
+        (List.length seq.Dse.points)
+        t_seq par_domains t_par
+        (t_seq /. Float.max 1e-9 t_par)
+        (if identical then "(results identical)" else "** RESULTS DIFFER **"))
+    [ "gemm"; "kmeans" ];
   print_newline ()
 
 (* ------------------------------------------------------------------ *)
@@ -422,6 +466,7 @@ let run_timings () =
 let () =
   print_artifacts ();
   print_ablations ();
+  print_parallel_dse ();
   rule ();
   print_endline "Timing (Bechamel, monotonic clock, OLS estimate per run)";
   run_timings ()

@@ -51,6 +51,16 @@ let stage_arg =
            mining), $(b,stripped-copies) (strip mining with tile copies), \
            or $(b,tiled) (after interchange; the final form).")
 
+let domains_arg =
+  Arg.(
+    value
+    & opt (some int) None
+    & info [ "domains" ] ~docv:"N"
+        ~doc:
+          "Evaluate independent sweep points on $(docv) parallel OCaml \
+           domains (default: the runtime's recommended count; 1 = \
+           sequential).  Results are identical at every domain count.")
+
 let tiling_of bench = Tiling.run ~tiles:bench.Suite.tiles bench.Suite.prog
 
 let stage_prog bench = function
@@ -141,9 +151,12 @@ let bottlenecks_flag =
 let simulate_cmd =
   let run bench config engine breakdown bottlenecks =
     let d = Experiments.design_of config bench in
+    (* one memo cache serves the report, the breakdown and the
+       bottleneck table — each subtree is simulated once *)
+    let cache = Simulate.cache () in
     let rep =
       match engine with
-      | `Analytic -> Simulate.run d ~sizes:bench.Suite.sim_sizes
+      | `Analytic -> Simulate.run ~cache d ~sizes:bench.Suite.sim_sizes
       | `Event ->
           let r = Event_sim.run d ~sizes:bench.Suite.sim_sizes in
           Printf.printf "(event engine: %d controller instances, %d fallbacks)\n"
@@ -161,11 +174,11 @@ let simulate_cmd =
     if breakdown then
       Format.printf "%a"
         Simulate.pp_breakdown
-        (Simulate.breakdown d ~sizes:bench.Suite.sim_sizes);
+        (Simulate.breakdown ~cache d ~sizes:bench.Suite.sim_sizes);
     if bottlenecks then
       Format.printf "%a"
         Simulate.pp_bottlenecks
-        (Simulate.bottlenecks d ~sizes:bench.Suite.sim_sizes)
+        (Simulate.bottlenecks ~cache d ~sizes:bench.Suite.sim_sizes)
   in
   Cmd.v
     (Cmd.info "simulate"
@@ -246,20 +259,20 @@ let dse_cmd =
             "Also sweep these parallelism factors jointly with the tile \
              sizes (default: the single default factor).")
   in
-  let run bench budget pars =
+  let run bench budget pars domains =
     Printf.printf
       "tile-size exploration for %s (budget %.0f M20K, sizes at sim scale)\n\n"
       bench.Suite.name budget;
-    Dse.print_result (Dse.explore_bench ~bram_budget:budget ~pars bench)
+    Dse.print_result (Dse.explore_bench ?domains ~bram_budget:budget ~pars bench)
   in
   Cmd.v
     (Cmd.info "dse"
        ~doc:
          "Automated tile-size (and optionally parallelism-factor) \
-          selection (the paper's future-work loop): sweep candidates, \
-          model cycles and area, pick the fastest design that fits the \
-          memory budget and the chip.")
-    Term.(const run $ bench_arg $ budget $ pars_arg)
+          selection (the paper's future-work loop): sweep candidates in \
+          parallel across OCaml domains, model cycles and area, pick the \
+          fastest design that fits the memory budget and the chip.")
+    Term.(const run $ bench_arg $ budget $ pars_arg $ domains_arg)
 
 let compile_cmd =
   let file =
@@ -415,15 +428,18 @@ let check_cmd =
       & info [] ~docv:"BENCH"
           ~doc:"Benchmark to check; omitted = the whole suite.")
   in
-  let failures = ref 0 in
-  let report name ok detail =
-    Printf.printf "  %-28s %s%s\n" name
-      (if ok then "ok" else "FAIL")
-      (if detail = "" then "" else " (" ^ detail ^ ")");
-    if not ok then incr failures
-  in
-  let check_bench (bench : Suite.bench) =
-    Printf.printf "%s\n" bench.Suite.name;
+  (* each bench's checks print into its own buffer, so the whole suite
+     can run benches on parallel domains and still report in order *)
+  let check_bench buf (bench : Suite.bench) =
+    let failures = ref 0 in
+    let pr fmt = Printf.ksprintf (Buffer.add_string buf) fmt in
+    let report name ok detail =
+      pr "  %-28s %s%s\n" name
+        (if ok then "ok" else "FAIL")
+        (if detail = "" then "" else " (" ^ detail ^ ")");
+      if not ok then incr failures
+    in
+    pr "%s\n" bench.Suite.name;
     let r = tiling_of bench in
     let stages =
       [ ("fused", r.Tiling.fused);
@@ -504,25 +520,42 @@ let check_cmd =
     report "engines agree" (dev < 0.02) (Printf.sprintf "deviation %.2f%%" (100.0 *. dev));
     (* 7. the design fits the chip *)
     let area = Area_model.of_design d in
-    report "fits Stratix V" (Area_model.fits area) ""
+    report "fits Stratix V" (Area_model.fits area) "";
+    !failures
   in
-  let run bench_opt =
-    (match bench_opt with
-    | Some b -> check_bench b
-    | None -> List.iter check_bench (benches ()));
-    if !failures > 0 then begin
-      Printf.printf "%d check(s) failed\n" !failures;
+  let run bench_opt domains =
+    let targets =
+      match bench_opt with Some b -> [ b ] | None -> benches ()
+    in
+    let results =
+      Pool.map ?domains
+        (fun b ->
+          let buf = Buffer.create 1024 in
+          let n = check_bench buf b in
+          (Buffer.contents buf, n))
+        targets
+    in
+    let failures =
+      List.fold_left
+        (fun acc (out, n) ->
+          print_string out;
+          acc + n)
+        0 results
+    in
+    if failures > 0 then begin
+      Printf.printf "%d check(s) failed\n" failures;
       exit 1
     end
   in
   Cmd.v
     (Cmd.info "check"
        ~doc:
-         "Run every validator on a benchmark (or the suite): type checker \
-          on all tiling stages, interpreter equivalence against the source \
+         "Run every validator on a benchmark (or the suite, with benchmarks \
+          checked in parallel across OCaml domains): type checker on all \
+          tiling stages, interpreter equivalence against the source \
           program, printer/parser roundtrip, static bounds, analytic/event \
           engine agreement, and chip fit.")
-    Term.(const run $ bench_opt)
+    Term.(const run $ bench_opt $ domains_arg)
 
 let lint_cmd =
   let bench_opt =
@@ -587,13 +620,16 @@ let lint_cmd =
     Term.(const run $ bench_opt $ config_arg $ json_flag)
 
 let fig7_cmd =
-  let run () = Experiments.print_fig7 (Experiments.fig7 (Suite.all ())) in
+  let run domains =
+    Experiments.print_fig7 (Experiments.fig7 ?domains (Suite.all ()))
+  in
   Cmd.v
     (Cmd.info "fig7"
        ~doc:
          "Reproduce Fig. 7: speedups and relative resource usage of tiling \
-          and metapipelining over the baseline, across the suite.")
-    Term.(const run $ const ())
+          and metapipelining over the baseline, across the suite \
+          (benchmarks evaluated in parallel across OCaml domains).")
+    Term.(const run $ domains_arg)
 
 let default =
   Term.(ret (const (`Help (`Pager, None))))

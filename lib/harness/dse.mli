@@ -7,22 +7,37 @@
     that loop: enumerate candidate tile assignments, compile each through
     the full tiling + hardware-generation pipeline, evaluate with the
     performance and area models, discard points over the on-chip memory
-    budget, and return the Pareto-best point. *)
+    budget, and return the Pareto-best point.
+
+    Every point is an independent compile + simulate chain, so the sweep
+    fans out across OCaml 5 domains ({!Pool}).  Results are deterministic:
+    any [?domains] value returns the identical [points] list and [best]
+    point (same order, same floats) as a sequential run. *)
 
 type point = {
   tiles : (Sym.t * int) list;
   par : int;  (** vector-lane / tree-leaf parallelism factor *)
   cycles : float;
   area : Area_model.t;
-  feasible : bool;  (** within the block-RAM budget and the chip *)
+  feasible : bool;
+      (** finite cycles, within the block-RAM budget and the chip *)
+}
+
+type skip = {
+  sk_tiles : (Sym.t * int) list;  (** the rejected tile assignment *)
+  sk_reason : string;  (** why tiling rejected it *)
 }
 
 type result = {
   points : point list;  (** all evaluated points, fastest first *)
   best : point option;  (** fastest feasible point *)
+  skipped : skip list;
+      (** candidate assignments the tiling pipeline rejected — reported,
+          never silently dropped *)
 }
 
 val explore :
+  ?domains:int ->
   ?machine:Machine.t ->
   ?opts:Lower.opts ->
   ?bram_budget:float ->
@@ -33,9 +48,11 @@ val explore :
   result
 (** [explore ~prog ~candidates ~sizes ()] evaluates the cartesian product
     of per-parameter candidate tile sizes.  Default budget: 2560 M20K
-    blocks (a Stratix V). *)
+    blocks (a Stratix V).  [?domains] bounds the evaluation pool
+    (default: {!Pool.default_domains}; [1] = sequential). *)
 
 val explore_joint :
+  ?domains:int ->
   ?machine:Machine.t ->
   ?opts:Lower.opts ->
   ?bram_budget:float ->
@@ -47,11 +64,18 @@ val explore_joint :
   result
 (** Joint tile-size and parallelism-factor exploration: the cartesian
     product of tile assignments and [pars] values.  Feasibility also
-    checks chip capacity (logic/FF), which parallelism spends. *)
+    checks chip capacity (logic/FF), which parallelism spends.
 
-val explore_bench : ?bram_budget:float -> ?pars:int list -> Suite.bench -> result
+    Candidate assignments that the tiling pipeline itself rejects
+    ([Invalid_argument] or {!Validate.Type_error} from [Tiling.run]) are
+    recorded in [skipped]; any other exception — a genuine bug in
+    [Lower], [Simulate] or [Area_model] — propagates to the caller. *)
+
+val explore_bench :
+  ?domains:int -> ?bram_budget:float -> ?pars:int list -> Suite.bench -> result
 (** Convenience: power-of-two candidates around the benchmark's default
-    tile configuration, evaluated at its simulation sizes.  [pars]
-    defaults to the single default parallelism factor. *)
+    tile configuration (the default size itself is always a candidate),
+    evaluated at its simulation sizes.  [pars] defaults to the single
+    default parallelism factor. *)
 
 val print_result : result -> unit

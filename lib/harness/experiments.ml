@@ -25,8 +25,9 @@ type fig7_row = {
 
 let configs = [ Baseline; Tiled; Tiled_meta ]
 
-let fig7 ?machine benches =
-  List.map
+let fig7 ?machine ?domains benches =
+  (* each bench is an independent compile + 3x simulate chain *)
+  Pool.map ?domains
     (fun (bench : Suite.bench) ->
       let per_config =
         List.map

@@ -21,7 +21,11 @@ type fig7_row = {
   area_ratio : config -> Area_model.t;  (** over [Baseline] *)
 }
 
-val fig7 : ?machine:Machine.t -> Suite.bench list -> fig7_row list
+val fig7 :
+  ?machine:Machine.t -> ?domains:int -> Suite.bench list -> fig7_row list
+(** [?domains] fans the per-benchmark chains out across a {!Pool}
+    (default: {!Pool.default_domains}; [1] = sequential).  The rows are
+    identical at every domain count. *)
 
 val paper_fig7_speedups : (string * (float * float)) list
 (** The paper's reported (tiling, tiling+metapipelining) speedups, for

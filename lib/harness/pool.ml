@@ -1,0 +1,43 @@
+let default_domains () = Domain.recommended_domain_count ()
+
+let map ?domains f items =
+  let requested =
+    match domains with Some d -> Int.max 1 d | None -> default_domains ()
+  in
+  match items with
+  | [] -> []
+  | items when requested <= 1 || List.length items <= 1 -> List.map f items
+  | items ->
+      let arr = Array.of_list items in
+      let len = Array.length arr in
+      (* one slot per item: results come back in input order no matter
+         which domain computed them *)
+      let results = Array.make len None in
+      let next = Atomic.make 0 in
+      let worker () =
+        let rec loop () =
+          let i = Atomic.fetch_and_add next 1 in
+          if i < len then begin
+            (results.(i) <-
+               Some
+                 (try Ok (f arr.(i))
+                  with e -> Error (e, Printexc.get_raw_backtrace ())));
+            loop ()
+          end
+        in
+        loop ()
+      in
+      let workers = Int.min requested len in
+      let spawned = List.init (workers - 1) (fun _ -> Domain.spawn worker) in
+      worker ();
+      List.iter Domain.join spawned;
+      (* deliver in index order, so the first failing *item* (not the
+         first failing domain) determines the raised exception *)
+      Array.to_list results
+      |> List.map (function
+           | Some (Ok v) -> v
+           | Some (Error (e, bt)) -> Printexc.raise_with_backtrace e bt
+           | None -> assert false)
+
+let mapi ?domains f items =
+  map ?domains (fun (i, x) -> f i x) (List.mapi (fun i x -> (i, x)) items)

@@ -1,10 +1,10 @@
 type t = { id : int; base : string }
 
-let counter = ref 0
+(* atomic: symbols are minted from several domains when sweeps tile
+   candidate points in parallel (Pool) *)
+let counter = Atomic.make 0
 
-let fresh base =
-  incr counter;
-  { id = !counter; base }
+let fresh base = { id = Atomic.fetch_and_add counter 1 + 1; base }
 
 let base t = t.base
 let id t = t.id

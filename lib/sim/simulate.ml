@@ -7,26 +7,30 @@ type report = {
   writes : traffic;
 }
 
-let add_traffic t (arr, words) =
-  let rec go = function
-    | [] -> [ (arr, words) ]
-    | (a, w) :: rest when a = arr -> (a, w +. words) :: rest
-    | x :: rest -> x :: go rest
-  in
-  go t
+(* Traffic accumulates into a map keyed by array name: the assoc-list
+   version walked the whole list per arrival (O(n^2) across a sweep).
+   Per-key sums add in the same left-to-right order as before, so the
+   floats are unchanged. *)
+module Smap = Map.Make (String)
 
-let merge_traffic a b = List.fold_left add_traffic a b
-let scale_traffic f t = List.map (fun (a, w) -> (a, f *. w)) t
+let add_words t arr words =
+  Smap.update arr
+    (function None -> Some words | Some w -> Some (w +. words))
+    t
+
+let merge_traffic a b = Smap.union (fun _ x y -> Some (x +. y)) a b
+let scale_traffic f t = Smap.map (fun w -> f *. w) t
 
 (* per-invocation result of one controller *)
 type node_res = {
   n_cycles : float;
   n_dram : float;
-  n_reads : traffic;
-  n_writes : traffic;
+  n_reads : float Smap.t;
+  n_writes : float Smap.t;
 }
 
-let zero = { n_cycles = 0.0; n_dram = 0.0; n_reads = []; n_writes = [] }
+let zero =
+  { n_cycles = 0.0; n_dram = 0.0; n_reads = Smap.empty; n_writes = Smap.empty }
 
 let seq_compose a b =
   { n_cycles = a.n_cycles +. b.n_cycles;
@@ -87,24 +91,67 @@ let cached_footprint (_m : Machine.t) sizes (da : Hw.dram_access) =
   in
   go da.Hw.da_path
 
-let rec sim (m : Machine.t) sizes (c : Hw.ctrl) : node_res =
+(* ------------------------- memoized sim ---------------------------- *)
+
+(* Identity-keyed table over controller subtrees.  A node's result is a
+   function of (machine, sizes, structure) only, so memoizing on physical
+   identity is sound; physically equal nodes are structurally equal, so
+   the default structural hash (bounded-depth, O(1)) is a valid hash for
+   ( == ). *)
+module Ctbl = Hashtbl.Make (struct
+  type t = Hw.ctrl
+
+  let equal = ( == )
+  let hash = Hashtbl.hash
+end)
+
+type cache = {
+  mutable ckey : (Machine.t * (Sym.t * int) list) option;
+  tbl : node_res Ctbl.t;
+}
+
+let cache () = { ckey = None; tbl = Ctbl.create 64 }
+
+(* a cache is only valid for one (machine, sizes) pair: reset on change *)
+let table_of cache machine sizes =
+  (match cache.ckey with
+  | Some (m, s) when m == machine && s == sizes -> ()
+  | Some (m, s) when m = machine && s = sizes -> ()
+  | _ ->
+      Ctbl.reset cache.tbl;
+      cache.ckey <- Some (machine, sizes));
+  cache.tbl
+
+let rec sim tbl (m : Machine.t) sizes (c : Hw.ctrl) : node_res =
+  match Ctbl.find_opt tbl c with
+  | Some r -> r
+  | None ->
+      let r = sim_uncached tbl m sizes c in
+      Ctbl.add tbl c r;
+      r
+
+and sim_uncached tbl (m : Machine.t) sizes (c : Hw.ctrl) : node_res =
   match c with
   | Hw.Seq { children; _ } ->
-      List.fold_left (fun acc ch -> seq_compose acc (sim m sizes ch)) zero
+      List.fold_left (fun acc ch -> seq_compose acc (sim tbl m sizes ch)) zero
         children
   | Hw.Par { children; _ } ->
-      let rs = List.map (sim m sizes) children in
+      let rs = List.map (sim tbl m sizes) children in
       { n_cycles =
           Float.max
             (List.fold_left (fun acc r -> Float.max acc r.n_cycles) 0.0 rs)
             (List.fold_left (fun acc r -> acc +. r.n_dram) 0.0 rs);
         n_dram = List.fold_left (fun acc r -> acc +. r.n_dram) 0.0 rs;
         n_reads =
-          List.fold_left (fun acc r -> merge_traffic acc r.n_reads) [] rs;
+          List.fold_left
+            (fun acc r -> merge_traffic acc r.n_reads)
+            Smap.empty rs;
         n_writes =
-          List.fold_left (fun acc r -> merge_traffic acc r.n_writes) [] rs }
+          List.fold_left
+            (fun acc r -> merge_traffic acc r.n_writes)
+            Smap.empty rs }
   | Hw.Loop { trips; meta; stages; _ } ->
-      let rs = List.map (sim m sizes) stages in
+      let rs = List.map (sim tbl m sizes) stages in
       let iter =
         List.fold_left (fun acc t -> acc *. Hw.trip_eval sizes t) 1.0 trips
       in
@@ -129,11 +176,14 @@ let rec sim (m : Machine.t) sizes (c : Hw.ctrl) : node_res =
           iter *. List.fold_left (fun acc r -> acc +. r.n_dram) 0.0 rs;
         n_reads =
           scale_traffic iter
-            (List.fold_left (fun acc r -> merge_traffic acc r.n_reads) [] rs);
+            (List.fold_left
+               (fun acc r -> merge_traffic acc r.n_reads)
+               Smap.empty rs);
         n_writes =
           scale_traffic iter
-            (List.fold_left (fun acc r -> merge_traffic acc r.n_writes) [] rs)
-      }
+            (List.fold_left
+               (fun acc r -> merge_traffic acc r.n_writes)
+               Smap.empty rs) }
   | Hw.Pipe { trips; par; depth; ii; dram; _ } ->
       let iters =
         List.fold_left (fun acc t -> acc *. Hw.trip_eval sizes t) 1.0 trips
@@ -150,14 +200,14 @@ let rec sim (m : Machine.t) sizes (c : Hw.ctrl) : node_res =
             let acc = { acc with n_dram = acc.n_dram +. cyc } in
             match da.Hw.da_kind with
             | `Read ->
-                { acc with n_reads = add_traffic acc.n_reads (da.Hw.da_array, words) }
+                { acc with n_reads = add_words acc.n_reads da.Hw.da_array words }
             | `Cached ->
                 let fp = Float.min (cached_footprint m sizes da) words in
                 { acc with
                   n_dram = acc.n_dram -. cyc +. (fp /. m.Machine.stream_words_per_cycle);
-                  n_reads = add_traffic acc.n_reads (da.Hw.da_array, fp) }
+                  n_reads = add_words acc.n_reads da.Hw.da_array fp }
             | `Write ->
-                { acc with n_writes = add_traffic acc.n_writes (da.Hw.da_array, words) })
+                { acc with n_writes = add_words acc.n_writes da.Hw.da_array words })
           zero dram
       in
       { n_cycles = Float.max compute dram_res.n_dram;
@@ -167,18 +217,29 @@ let rec sim (m : Machine.t) sizes (c : Hw.ctrl) : node_res =
   | Hw.Tile_load { words; reuse; array; _ } ->
       let w = Hw.trip_eval sizes words /. float_of_int (Int.max 1 reuse) in
       let cyc = m.Machine.tile_latency +. (w /. m.Machine.stream_words_per_cycle) in
-      { n_cycles = cyc; n_dram = cyc; n_reads = [ (array, w) ]; n_writes = [] }
+      { n_cycles = cyc;
+        n_dram = cyc;
+        n_reads = Smap.singleton array w;
+        n_writes = Smap.empty }
   | Hw.Tile_store { words; array; _ } ->
       let w = Hw.trip_eval sizes words in
       let cyc = m.Machine.tile_latency +. (w /. m.Machine.stream_words_per_cycle) in
-      { n_cycles = cyc; n_dram = cyc; n_reads = []; n_writes = [ (array, w) ] }
+      { n_cycles = cyc;
+        n_dram = cyc;
+        n_reads = Smap.empty;
+        n_writes = Smap.singleton array w }
 
-let run ?(machine = Machine.default) (d : Hw.design) ~sizes =
-  let r = sim machine sizes d.Hw.top in
+let run ?(machine = Machine.default) ?cache:c (d : Hw.design) ~sizes =
+  let tbl =
+    match c with
+    | Some c -> table_of c machine sizes
+    | None -> Ctbl.create 16
+  in
+  let r = sim tbl machine sizes d.Hw.top in
   { cycles = r.n_cycles;
     dram_cycles = r.n_dram;
-    reads = List.sort compare r.n_reads;
-    writes = List.sort compare r.n_writes }
+    reads = Smap.bindings r.n_reads;
+    writes = Smap.bindings r.n_writes }
 
 (* ------------------------- breakdown ------------------------------- *)
 
@@ -205,10 +266,18 @@ let kind_of = function
   | Hw.Tile_load _ -> "tile-load"
   | Hw.Tile_store _ -> "tile-store"
 
-let breakdown ?(machine = Machine.default) (d : Hw.design) ~sizes =
+let breakdown ?(machine = Machine.default) ?cache:c (d : Hw.design) ~sizes =
+  (* one memo table serves every node: the root's sim fills it, so the
+     per-node lookups below are O(1) instead of re-simulating each
+     subtree once per ancestor (O(n * depth)) *)
+  let tbl =
+    match c with
+    | Some c -> table_of c machine sizes
+    | None -> Ctbl.create 64
+  in
   let rows = ref [] in
   let rec go depth invocations c =
-    let r = sim machine sizes c in
+    let r = sim tbl machine sizes c in
     rows :=
       { br_name = Hw.ctrl_name c;
         br_depth = depth;
@@ -254,14 +323,21 @@ type bottleneck_row = {
   bn_frac : float;
 }
 
-let bottlenecks ?(machine = Machine.default) (d : Hw.design) ~sizes =
+let bottlenecks ?(machine = Machine.default) ?cache:c (d : Hw.design) ~sizes =
+  let tbl =
+    match c with
+    | Some c -> table_of c machine sizes
+    | None -> Ctbl.create 64
+  in
   let rows = ref [] in
   Hw.iter_ctrls
     (fun c ->
       match c with
       | Hw.Loop { name; trips; meta = true; stages } when List.length stages > 1
         ->
-          let rs = List.map (fun s -> (Hw.ctrl_name s, sim machine sizes s)) stages in
+          let rs =
+            List.map (fun s -> (Hw.ctrl_name s, sim tbl machine sizes s)) stages
+          in
           let iters =
             Float.max 1.0
               (List.fold_left

@@ -32,8 +32,22 @@ type report = {
   writes : traffic;  (** words written per DRAM array *)
 }
 
+type cache
+(** Identity-keyed memo over controller subtrees.  One [sim] pass fills
+    it; {!run}, {!breakdown} and {!bottlenecks} sharing a cache then
+    reuse each node's result instead of re-simulating every subtree once
+    per ancestor.  A cache is valid for one (machine, sizes) pair and
+    resets itself transparently when either changes.  Memoized calls
+    return exactly what the unmemoized ones return. *)
+
+val cache : unit -> cache
+
 val run :
-  ?machine:Machine.t -> Hw.design -> sizes:(Sym.t * int) list -> report
+  ?machine:Machine.t ->
+  ?cache:cache ->
+  Hw.design ->
+  sizes:(Sym.t * int) list ->
+  report
 
 (** {1 Cost primitives}
 
@@ -64,7 +78,11 @@ type breakdown_row = {
 }
 
 val breakdown :
-  ?machine:Machine.t -> Hw.design -> sizes:(Sym.t * int) list -> breakdown_row list
+  ?machine:Machine.t ->
+  ?cache:cache ->
+  Hw.design ->
+  sizes:(Sym.t * int) list ->
+  breakdown_row list
 (** Per-controller timing table, pre-order.  [br_cycles *.
     br_invocations] is each controller's total contribution (overlap in
     metapipelines means children can sum to more than the parent). *)
@@ -88,7 +106,10 @@ type bottleneck_row = {
 }
 
 val bottlenecks :
-  ?machine:Machine.t -> Hw.design -> sizes:(Sym.t * int) list ->
+  ?machine:Machine.t ->
+  ?cache:cache ->
+  Hw.design ->
+  sizes:(Sym.t * int) list ->
   bottleneck_row list
 
 val pp_bottlenecks : Format.formatter -> bottleneck_row list -> unit

@@ -88,6 +88,124 @@ let test_joint_par_exploration () =
               (best.Dse.cycles <= p.Dse.cycles +. 1e-6))
         r.Dse.points
 
+(* ---------------- parallel sweeps ---------------- *)
+
+let test_parallel_matches_sequential () =
+  (* parallel exploration must be bit-identical to sequential: same
+     points in the same order (structural equality compares the floats
+     exactly, no tolerance) and the same selected best *)
+  List.iter
+    (fun name ->
+      let bench = Suite.find (Suite.all ()) name in
+      let seq = Dse.explore_bench ~domains:1 ~pars:[ 4; 16 ] bench in
+      let par = Dse.explore_bench ~domains:3 ~pars:[ 4; 16 ] bench in
+      Alcotest.(check int)
+        (name ^ ": same point count")
+        (List.length seq.Dse.points)
+        (List.length par.Dse.points);
+      Alcotest.(check bool) (name ^ ": bit-identical points") true
+        (seq.Dse.points = par.Dse.points);
+      Alcotest.(check bool) (name ^ ": same best") true
+        (seq.Dse.best = par.Dse.best);
+      Alcotest.(check bool) (name ^ ": same skips") true
+        (seq.Dse.skipped = par.Dse.skipped))
+    [ "gemm"; "kmeans" ]
+
+(* ---------------- failure handling ---------------- *)
+
+let contains hay needle =
+  let lh = String.length hay and ln = String.length needle in
+  let rec go i = i + ln <= lh && (String.sub hay i ln = needle || go (i + 1)) in
+  go 0
+
+let test_skipped_points_reported () =
+  (* a tile size the tiler rejects must not silently vanish: the sweep
+     records the assignment and the reason, and still evaluates the rest *)
+  let t = Gemm.make () in
+  let r =
+    Dse.explore ~prog:t.Gemm.prog
+      ~candidates:
+        [ (t.Gemm.m, [ 0; 32 ]); (t.Gemm.n, [ 32 ]); (t.Gemm.p, [ 16; 32 ]) ]
+      ~sizes:[ (t.Gemm.m, 512); (t.Gemm.n, 512); (t.Gemm.p, 512) ]
+      ()
+  in
+  Alcotest.(check int) "two assignments skipped" 2 (List.length r.Dse.skipped);
+  Alcotest.(check int) "two assignments evaluated" 2 (List.length r.Dse.points);
+  List.iter
+    (fun s ->
+      Alcotest.(check bool) "skip names the bad tile" true
+        (List.mem_assoc t.Gemm.m s.Dse.sk_tiles);
+      Alcotest.(check bool) "reason mentions the tile size" true
+        (contains s.Dse.sk_reason "tile size"))
+    r.Dse.skipped
+
+let test_genuine_bugs_propagate () =
+  (* only tiling rejections are recorded as skips; an error downstream of
+     the tiler (here: simulating with a size parameter missing) is a bug
+     in the caller's setup and must escape the sweep *)
+  let t = Gemm.make () in
+  match
+    Dse.explore ~prog:t.Gemm.prog
+      ~candidates:[ (t.Gemm.m, [ 32 ]); (t.Gemm.n, [ 32 ]); (t.Gemm.p, [ 32 ]) ]
+      ~sizes:[ (t.Gemm.m, 512) ]
+      ()
+  with
+  | _ -> Alcotest.fail "expected the missing-size error to propagate"
+  | exception Invalid_argument msg ->
+      Alcotest.(check bool) "error names the missing size" true
+        (contains msg "missing size")
+
+(* ---------------- default-tile regressions ---------------- *)
+
+let tiny_bench () =
+  (* a benchmark whose default tile (1) is smaller than every candidate
+     the old `b >= 8` filter kept — the sweep used to come back empty *)
+  let d = Dsl.size "d" in
+  let x = Dsl.input "x" Ty.float_ [ Ir.Var d ] in
+  let prog =
+    Dsl.program ~name:"tiny" ~sizes:[ d ] ~inputs:[ x ]
+      (Dsl.map1 (Dsl.dfull (Ir.Var d)) (fun i ->
+           Dsl.( *! ) (Dsl.f 2.0) (Dsl.read (Dsl.in_var x) [ i ])))
+  in
+  { Suite.name = "tiny";
+    description = "unit-tile map";
+    collection_ops = "Map";
+    prog;
+    tiles = [ (d, 1) ];
+    sim_sizes = [ (d, 4096) ];
+    test_sizes = [ (d, 16) ];
+    gen = (fun ~sizes:_ ~seed:_ -> []) }
+
+let test_small_default_kept () =
+  let r = Dse.explore_bench (tiny_bench ()) in
+  Alcotest.(check bool) "sweep not empty" true (r.Dse.points <> []);
+  Alcotest.(check bool) "default tile evaluated" true
+    (List.exists
+       (fun p -> List.exists (fun (_, b) -> b = 1) p.Dse.tiles)
+       r.Dse.points);
+  Alcotest.(check bool) "a best exists" true (r.Dse.best <> None)
+
+let test_nan_cycles_never_selected () =
+  (* a machine description gone wrong (NaN bandwidth) makes every cycle
+     count NaN; NaN must read as infeasible, never as the best point *)
+  let machine =
+    { Machine.default with Machine.stream_words_per_cycle = Float.nan }
+  in
+  let t = Gemm.make () in
+  let r =
+    Dse.explore ~machine ~prog:t.Gemm.prog
+      ~candidates:
+        [ (t.Gemm.m, [ 32; 64 ]); (t.Gemm.n, [ 32 ]); (t.Gemm.p, [ 32 ]) ]
+      ~sizes:[ (t.Gemm.m, 512); (t.Gemm.n, 512); (t.Gemm.p, 512) ]
+      ()
+  in
+  Alcotest.(check bool) "points evaluated" true (r.Dse.points <> []);
+  Alcotest.(check bool) "no best under NaN cycles" true (r.Dse.best = None);
+  List.iter
+    (fun p ->
+      Alcotest.(check bool) "NaN point infeasible" false p.Dse.feasible)
+    r.Dse.points
+
 let () =
   Alcotest.run "dse"
     [ ( "exploration",
@@ -100,4 +218,17 @@ let () =
           Alcotest.test_case "explicit candidates" `Quick
             test_explicit_candidates;
           Alcotest.test_case "joint par exploration" `Quick
-            test_joint_par_exploration ] ) ]
+            test_joint_par_exploration ] );
+      ( "parallel",
+        [ Alcotest.test_case "parallel matches sequential" `Quick
+            test_parallel_matches_sequential ] );
+      ( "failure handling",
+        [ Alcotest.test_case "skipped points reported" `Quick
+            test_skipped_points_reported;
+          Alcotest.test_case "genuine bugs propagate" `Quick
+            test_genuine_bugs_propagate ] );
+      ( "regressions",
+        [ Alcotest.test_case "small default kept" `Quick
+            test_small_default_kept;
+          Alcotest.test_case "NaN cycles never selected" `Quick
+            test_nan_cycles_never_selected ] ) ]

@@ -1,0 +1,57 @@
+(* The domain pool behind the parallel sweeps: Pool.map must equal
+   List.map exactly — same order, same values — at every domain count,
+   and exceptions must surface deterministically. *)
+
+let test_order_preserved () =
+  let items = List.init 100 (fun i -> i) in
+  let f x = (x * x) + 1 in
+  List.iter
+    (fun domains ->
+      Alcotest.(check (list int))
+        (Printf.sprintf "domains=%d" domains)
+        (List.map f items)
+        (Pool.map ~domains f items))
+    [ 1; 2; 4; 8 ]
+
+let test_default_domains () =
+  Alcotest.(check bool) "at least one" true (Pool.default_domains () >= 1)
+
+let test_mapi () =
+  Alcotest.(check (list string))
+    "mapi" [ "0a"; "1b"; "2c" ]
+    (Pool.mapi ~domains:3 (fun i s -> string_of_int i ^ s) [ "a"; "b"; "c" ])
+
+exception Boom of int
+
+let test_first_exception_wins () =
+  (* items 3 and 7 both raise; the smallest-index failure is the one
+     reported, independent of which domain hit it first *)
+  let f x = if x mod 4 = 3 then raise (Boom x) else x in
+  List.iter
+    (fun domains ->
+      match Pool.map ~domains f (List.init 10 (fun i -> i)) with
+      | _ -> Alcotest.fail "expected Boom"
+      | exception Boom n ->
+          Alcotest.(check int)
+            (Printf.sprintf "first failing item (domains=%d)" domains)
+            3 n)
+    [ 1; 2; 4 ]
+
+let test_edge_shapes () =
+  Alcotest.(check (list int)) "empty" [] (Pool.map ~domains:4 (fun x -> x) []);
+  Alcotest.(check (list int))
+    "singleton" [ 7 ]
+    (Pool.map ~domains:4 (fun x -> x + 3) [ 4 ]);
+  Alcotest.(check (list int))
+    "more domains than items" [ 2; 4 ]
+    (Pool.map ~domains:16 (fun x -> 2 * x) [ 1; 2 ])
+
+let () =
+  Alcotest.run "pool"
+    [ ( "pool",
+        [ Alcotest.test_case "order preserved" `Quick test_order_preserved;
+          Alcotest.test_case "default domains" `Quick test_default_domains;
+          Alcotest.test_case "mapi" `Quick test_mapi;
+          Alcotest.test_case "first exception wins" `Quick
+            test_first_exception_wins;
+          Alcotest.test_case "edge shapes" `Quick test_edge_shapes ] ) ]

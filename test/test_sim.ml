@@ -330,6 +330,29 @@ let test_bottlenecks () =
   Alcotest.(check bool) "sumrows dram-bound" true
     (List.exists (fun r -> r.Simulate.bn_bound = `Dram) rows)
 
+(* ---------------- memoization ---------------- *)
+
+let test_memo_cache_consistency () =
+  (* one cache shared across run/breakdown/bottlenecks must reproduce the
+     uncached reports exactly — structural equality, no tolerance *)
+  List.iter
+    (fun name ->
+      let bench = Suite.find (Suite.all ()) name in
+      let d = Experiments.design_of Experiments.Tiled_meta bench in
+      let sizes = bench.Suite.sim_sizes in
+      let cache = Simulate.cache () in
+      Alcotest.(check bool) (name ^ ": run matches") true
+        (Simulate.run ~cache d ~sizes = Simulate.run d ~sizes);
+      Alcotest.(check bool) (name ^ ": breakdown matches") true
+        (Simulate.breakdown ~cache d ~sizes = Simulate.breakdown d ~sizes);
+      Alcotest.(check bool) (name ^ ": bottlenecks matches") true
+        (Simulate.bottlenecks ~cache d ~sizes = Simulate.bottlenecks d ~sizes);
+      (* reusing the cache at different sizes must transparently reset *)
+      let sizes' = List.map (fun (s, v) -> (s, v * 2)) sizes in
+      Alcotest.(check bool) (name ^ ": cache resets on new sizes") true
+        (Simulate.run ~cache d ~sizes:sizes' = Simulate.run d ~sizes:sizes'))
+    [ "kmeans"; "gda"; "sumrows" ]
+
 (* ---------------- rebalancing ---------------- *)
 
 let test_rebalance () =
@@ -403,6 +426,9 @@ let () =
         [ Alcotest.test_case "kmeans table" `Quick test_breakdown;
           Alcotest.test_case "bottleneck attribution" `Quick test_bottlenecks
         ] );
+      ( "memoization",
+        [ Alcotest.test_case "cached reports match uncached" `Quick
+            test_memo_cache_consistency ] );
       ( "rebalance",
         [ Alcotest.test_case "gda stage parallelization" `Quick test_rebalance ] );
       ( "area",
