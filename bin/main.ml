@@ -61,6 +61,69 @@ let domains_arg =
            domains (default: the runtime's recommended count; 1 = \
            sequential).  Results are identical at every domain count.")
 
+let trace_arg =
+  Arg.(
+    value
+    & opt (some string) None
+    & info [ "trace" ] ~docv:"FILE"
+        ~doc:
+          "Write a Chrome trace-event JSON file covering this run \
+           (compiler-pass wall-clock spans plus the simulator's \
+           virtual-cycle timeline); load it at https://ui.perfetto.dev \
+           or chrome://tracing.  A per-track summary is printed to \
+           stderr.  See doc/OBSERVABILITY.md.")
+
+let metrics_flag =
+  Arg.(
+    value & flag
+    & info [ "metrics" ]
+        ~doc:
+          "Print the metrics registry (pass timers, simulator cache \
+           hit/miss counters, pool task counts, ...) after the run.")
+
+(* Run a command body under the observability flags: tracing is enabled
+   for the duration when --trace FILE is given (the JSON is written and a
+   summary goes to stderr afterwards, even if the body raises), and the
+   metrics registry is printed when --metrics is. *)
+let obs_wrap trace metrics f =
+  (match trace with
+  | Some _ ->
+      Trace.clear ();
+      Trace.enable ()
+  | None -> ());
+  Fun.protect f ~finally:(fun () ->
+      (match trace with
+      | Some file ->
+          Trace.disable ();
+          Trace.write file;
+          prerr_string (Trace.summary ());
+          Printf.eprintf "trace: wrote %s (open in https://ui.perfetto.dev)\n"
+            file
+      | None -> ());
+      if metrics then Format.printf "%a" Metrics.pp ())
+
+let warn_fallbacks ctx (r : Event_sim.result) =
+  if r.Event_sim.fallbacks > 0 then
+    Printf.eprintf
+      "warning: %s: event engine fell back to the analytic model for %d \
+       subtree(s) exceeding %d controller instances; their cycle counts \
+       are closed-form estimates, not scheduled timelines\n"
+      ctx r.Event_sim.fallbacks Event_sim.max_events
+
+(* publish one event-engine run and (optionally) its timeline *)
+let observe_event_run ctx trace (r : Event_sim.result) =
+  warn_fallbacks ctx r;
+  Metrics.incr ~by:r.Event_sim.events "sim.event.instances";
+  Metrics.incr ~by:r.Event_sim.fallbacks "sim.event.fallbacks";
+  if trace <> None then Option.iter Sim_trace.record r.Event_sim.timeline
+
+let observe_cache cache =
+  let st = Simulate.cache_stats cache in
+  Metrics.incr ~by:st.Simulate.hits "sim.cache.hits";
+  Metrics.incr ~by:st.Simulate.misses "sim.cache.misses";
+  Metrics.set_gauge "sim.cache.nodes"
+    (float_of_int (Simulate.cache_nodes cache))
+
 let tiling_of bench = Tiling.run ~tiles:bench.Suite.tiles bench.Suite.prog
 
 let stage_prog bench = function
@@ -149,18 +212,30 @@ let bottlenecks_flag =
            behind the gda rebalancing).")
 
 let simulate_cmd =
-  let run bench config engine breakdown bottlenecks =
+  let run bench config engine breakdown bottlenecks trace metrics =
+    obs_wrap trace metrics @@ fun () ->
     let d = Experiments.design_of config bench in
     (* one memo cache serves the report, the breakdown and the
        bottleneck table — each subtree is simulated once *)
     let cache = Simulate.cache () in
     let rep =
       match engine with
-      | `Analytic -> Simulate.run ~cache d ~sizes:bench.Suite.sim_sizes
+      | `Analytic ->
+          let rep = Simulate.run ~cache d ~sizes:bench.Suite.sim_sizes in
+          (* the virtual timeline always comes from the event engine, so a
+             trace has a simulator section under either engine *)
+          if trace <> None then
+            observe_event_run bench.Suite.name trace
+              (Event_sim.run ~record:true d ~sizes:bench.Suite.sim_sizes);
+          rep
       | `Event ->
-          let r = Event_sim.run d ~sizes:bench.Suite.sim_sizes in
+          let r =
+            Event_sim.run ~record:(trace <> None) d
+              ~sizes:bench.Suite.sim_sizes
+          in
           Printf.printf "(event engine: %d controller instances, %d fallbacks)\n"
             r.Event_sim.events r.Event_sim.fallbacks;
+          observe_event_run bench.Suite.name trace r;
           r.Event_sim.report
     in
     Printf.printf "%s / %s\n" bench.Suite.name (Experiments.config_name config);
@@ -178,14 +253,15 @@ let simulate_cmd =
     if bottlenecks then
       Format.printf "%a"
         Simulate.pp_bottlenecks
-        (Simulate.bottlenecks ~cache d ~sizes:bench.Suite.sim_sizes)
+        (Simulate.bottlenecks ~cache d ~sizes:bench.Suite.sim_sizes);
+    observe_cache cache
   in
   Cmd.v
     (Cmd.info "simulate"
        ~doc:"Simulate a benchmark's design: cycles, DRAM traffic, area.")
     Term.(
       const run $ bench_arg $ config_arg $ engine_arg $ breakdown_flag
-      $ bottlenecks_flag)
+      $ bottlenecks_flag $ trace_arg $ metrics_flag)
 
 let verify_cmd =
   let run bench =
@@ -259,7 +335,8 @@ let dse_cmd =
             "Also sweep these parallelism factors jointly with the tile \
              sizes (default: the single default factor).")
   in
-  let run bench budget pars domains =
+  let run bench budget pars domains trace metrics =
+    obs_wrap trace metrics @@ fun () ->
     Printf.printf
       "tile-size exploration for %s (budget %.0f M20K, sizes at sim scale)\n\n"
       bench.Suite.name budget;
@@ -272,7 +349,9 @@ let dse_cmd =
           selection (the paper's future-work loop): sweep candidates in \
           parallel across OCaml domains, model cycles and area, pick the \
           fastest design that fits the memory budget and the chip.")
-    Term.(const run $ bench_arg $ budget $ pars_arg $ domains_arg)
+    Term.(
+      const run $ bench_arg $ budget $ pars_arg $ domains_arg $ trace_arg
+      $ metrics_flag)
 
 let compile_cmd =
   let file =
@@ -295,7 +374,8 @@ let compile_cmd =
             "Concrete size-parameter values; when given, the compiled \
              design is also simulated at them.")
   in
-  let run file tiles_spec sizes_spec engine =
+  let run file tiles_spec sizes_spec engine trace metrics =
+    obs_wrap trace metrics @@ fun () ->
     let ic = open_in file in
     let len = in_channel_length ic in
     let text = really_input_string ic len in
@@ -332,8 +412,16 @@ let compile_cmd =
     | sizes ->
         let rep =
           match engine with
-          | `Analytic -> Simulate.run d ~sizes
-          | `Event -> (Event_sim.run d ~sizes).Event_sim.report
+          | `Analytic ->
+              let rep = Simulate.run d ~sizes in
+              if trace <> None then
+                observe_event_run prog.Ir.pname trace
+                  (Event_sim.run ~record:true d ~sizes);
+              rep
+          | `Event ->
+              let r = Event_sim.run ~record:(trace <> None) d ~sizes in
+              observe_event_run prog.Ir.pname trace r;
+              r.Event_sim.report
         in
         Format.printf "%a" Simulate.pp_report rep;
         let a = Area_model.of_design d in
@@ -344,7 +432,9 @@ let compile_cmd =
        ~doc:
          "Parse a .ppl file, tile it, print and validate the hardware \
           design, and (with --sizes) simulate it.")
-    Term.(const run $ file $ tiles_arg $ sizes_arg $ engine_arg)
+    Term.(
+      const run $ file $ tiles_arg $ sizes_arg $ engine_arg $ trace_arg
+      $ metrics_flag)
 
 let bounds_cmd =
   let run bench stage =
@@ -515,7 +605,9 @@ let check_cmd =
     (* 6. the two simulation engines agree on the final design *)
     let d = Experiments.design_of Experiments.Tiled_meta bench in
     let a = (Simulate.run d ~sizes:bench.Suite.sim_sizes).Simulate.cycles in
-    let e = (Event_sim.run d ~sizes:bench.Suite.sim_sizes).Event_sim.report.Simulate.cycles in
+    let er = Event_sim.run d ~sizes:bench.Suite.sim_sizes in
+    warn_fallbacks (bench.Suite.name ^ " (engines agree)") er;
+    let e = er.Event_sim.report.Simulate.cycles in
     let dev = Float.abs (a -. e) /. Float.max a e in
     report "engines agree" (dev < 0.02) (Printf.sprintf "deviation %.2f%%" (100.0 *. dev));
     (* 7. the design fits the chip *)
@@ -620,7 +712,8 @@ let lint_cmd =
     Term.(const run $ bench_opt $ config_arg $ json_flag)
 
 let fig7_cmd =
-  let run domains =
+  let run domains trace metrics =
+    obs_wrap trace metrics @@ fun () ->
     Experiments.print_fig7 (Experiments.fig7 ?domains (Suite.all ()))
   in
   Cmd.v
@@ -629,7 +722,47 @@ let fig7_cmd =
          "Reproduce Fig. 7: speedups and relative resource usage of tiling \
           and metapipelining over the baseline, across the suite \
           (benchmarks evaluated in parallel across OCaml domains).")
-    Term.(const run $ domains_arg)
+    Term.(const run $ domains_arg $ trace_arg $ metrics_flag)
+
+let timeline_cmd =
+  let out_arg =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "o"; "output" ] ~docv:"FILE"
+          ~doc:"Write the trace JSON to $(docv) instead of stdout.")
+  in
+  let run bench config out =
+    (* compile before enabling the collector: the emitted JSON then holds
+       only virtual-clock events and is bit-deterministic *)
+    let d = Experiments.design_of config bench in
+    Trace.clear ();
+    Trace.enable ();
+    let r = Event_sim.run ~record:true d ~sizes:bench.Suite.sim_sizes in
+    warn_fallbacks bench.Suite.name r;
+    Option.iter Sim_trace.record r.Event_sim.timeline;
+    Trace.disable ();
+    let json = Trace.to_json () in
+    (match out with
+    | Some file ->
+        let oc = open_out file in
+        output_string oc json;
+        close_out oc;
+        Printf.eprintf "timeline: wrote %s (open in https://ui.perfetto.dev)\n"
+          file
+    | None -> print_string json);
+    prerr_string (Trace.summary ())
+  in
+  Cmd.v
+    (Cmd.info "timeline"
+       ~doc:
+         "Simulate with the event engine and emit its virtual-cycle Gantt \
+          timeline (one track per metapipeline stage, one per top-level \
+          controller, plus the DRAM-busy track) as Chrome/Perfetto \
+          trace-event JSON on stdout; a per-track utilization summary \
+          goes to stderr.  The output is deterministic: bit-identical \
+          across runs.")
+    Term.(const run $ bench_arg $ config_arg $ out_arg)
 
 let default =
   Term.(ret (const (`Help (`Pager, None))))
@@ -664,6 +797,6 @@ let () =
     (Cmd.eval ~argv
        (Cmd.group ~default info
           [ list_cmd; ir_cmd; design_cmd; maxj_cmd; dot_cmd; simulate_cmd;
-            verify_cmd; check_cmd; lint_cmd; traffic_cmd; stats_cmd;
-            bounds_cmd; compile_cmd; dse_cmd; export_cmd; fig5c_cmd;
-            fig7_cmd ]))
+            timeline_cmd; verify_cmd; check_cmd; lint_cmd; traffic_cmd;
+            stats_cmd; bounds_cmd; compile_cmd; dse_cmd; export_cmd;
+            fig5c_cmd; fig7_cmd ]))

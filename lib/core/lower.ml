@@ -1065,7 +1065,7 @@ and lower_groupbyfold ctx g ~dest : Hw.ctrl list =
 
 (* ------------------------------ top ------------------------------- *)
 
-let program opts (p : program) =
+let lower_program opts (p : program) =
   let result_ty = Validate.check_program p in
   let tenv = Validate.initial_env p in
   let rec bound e =
@@ -1180,3 +1180,20 @@ let program opts (p : program) =
       par_factor = opts.par }
   in
   Metapipe.finalize design
+
+let program opts (p : program) =
+  Metrics.time "pass.lower" (fun () ->
+      if not (Trace.enabled ()) then lower_program opts p
+      else begin
+        let args = ref [] in
+        Trace.with_span ~cat:"pass" ~args:(fun () -> !args) "lower" (fun () ->
+            let d = lower_program opts p in
+            let ctrls = Hw.fold_ctrls (fun n _ -> n + 1) 0 d.Hw.top in
+            args :=
+              [ ("program", Trace.Str p.pname);
+                ("controllers", Trace.Int ctrls);
+                ("mems", Trace.Int (List.length d.Hw.mems));
+                ("par", Trace.Int opts.par);
+                ("meta", Trace.Str (if opts.meta then "true" else "false")) ];
+            d)
+      end)

@@ -44,7 +44,7 @@ let promoted design =
     design.Hw.top;
   promote
 
-let finalize (design : Hw.design) =
+let finalize_uninstrumented (design : Hw.design) =
   let promote = promoted design in
   let mems =
     List.map
@@ -88,3 +88,23 @@ let finalize (design : Hw.design) =
       | _ -> ())
     design.Hw.top;
   { design with Hw.mems }
+
+let finalize (design : Hw.design) =
+  Metrics.time "pass.metapipe" (fun () ->
+      if not (Trace.enabled ()) then finalize_uninstrumented design
+      else begin
+        let args = ref [] in
+        Trace.with_span ~cat:"pass" ~args:(fun () -> !args) "metapipe"
+          (fun () ->
+            let d = finalize_uninstrumented design in
+            let dbufs =
+              List.length
+                (List.filter
+                   (fun m -> m.Hw.kind = Hw.Double_buffer)
+                   d.Hw.mems)
+            in
+            args :=
+              [ ("design", Trace.Str d.Hw.design_name);
+                ("double_buffers", Trace.Int dbufs) ];
+            d)
+      end)

@@ -23,7 +23,34 @@ let canonicalize_lens (p : Ir.program) =
   in
   { p with body = Rewrite.bottom_up rule p.body }
 
-let cleanup p = Simplify.program (Code_motion.program (Cse.program p))
+(* Run one program->program pass under observability: a wall-clock span
+   carrying before/after Ir_stats deltas (when tracing is on) and an
+   accumulated [pass.<name>] timer in the metrics registry (always). *)
+let traced_pass name f p =
+  Metrics.time ("pass." ^ name) (fun () ->
+      if not (Trace.enabled ()) then f p
+      else begin
+        let args = ref [] in
+        Trace.with_span ~cat:"pass" ~args:(fun () -> !args) name (fun () ->
+            let b = Ir_stats.of_program p in
+            let r = f p in
+            let a = Ir_stats.of_program r in
+            args :=
+              [ ("nodes_before", Trace.Int b.Ir_stats.nodes);
+                ("nodes_after", Trace.Int a.Ir_stats.nodes);
+                ("copies_before", Trace.Int b.Ir_stats.copies);
+                ("copies_after", Trace.Int a.Ir_stats.copies);
+                ("strided_before", Trace.Int b.Ir_stats.strided_loops);
+                ("strided_after", Trace.Int a.Ir_stats.strided_loops);
+                ("nest_before", Trace.Int b.Ir_stats.max_nest);
+                ("nest_after", Trace.Int a.Ir_stats.max_nest) ];
+            r)
+      end)
+
+let cleanup p =
+  traced_pass "simplify" Simplify.program
+    (traced_pass "code-motion" Code_motion.program
+       (traced_pass "cse" Cse.program p))
 
 let run ?fuse_filters ?budget_words ~tiles (p : Ir.program) =
   (* reject tile configurations that cannot take effect *)
@@ -39,23 +66,38 @@ let run ?fuse_filters ?budget_words ~tiles (p : Ir.program) =
     tiles;
   ignore (Validate.check_program p);
   let nodes (q : Ir.program) = Rewrite.node_count q.Ir.body in
-  let fused = cleanup (Fusion.program ?fuse_filters (canonicalize_lens p)) in
-  ignore (Validate.check_program fused);
-  Log.debug (fun m ->
-      m "%s: fused (%d -> %d nodes)" p.Ir.pname (nodes p) (nodes fused));
-  let stripped = Simplify.program (Strip_mine.program ~tiles fused) in
-  ignore (Validate.check_program stripped);
-  Log.debug (fun m -> m "%s: strip-mined (%d nodes)" p.Ir.pname (nodes stripped));
-  let stripped_with_copies =
-    cleanup (Copy_insert.program ?budget_words stripped)
-  in
-  ignore (Validate.check_program stripped_with_copies);
-  let tiled =
-    cleanup
-      (Copy_insert.program ?budget_words
-         (Interchange.program ?budget_words stripped))
-  in
-  ignore (Validate.check_program tiled);
-  Log.debug (fun m ->
-      m "%s: interchanged + copies (%d nodes)" p.Ir.pname (nodes tiled));
-  { fused; stripped; stripped_with_copies; tiled }
+  Trace.with_span ~cat:"pass"
+    ~args:(fun () -> [ ("program", Trace.Str p.Ir.pname) ])
+    ("tiling:" ^ p.Ir.pname)
+    (fun () ->
+      let fused =
+        cleanup
+          (traced_pass "fusion" (Fusion.program ?fuse_filters)
+             (canonicalize_lens p))
+      in
+      ignore (Validate.check_program fused);
+      Log.debug (fun m ->
+          m "%s: fused (%d -> %d nodes)" p.Ir.pname (nodes p) (nodes fused));
+      let stripped =
+        traced_pass "simplify" Simplify.program
+          (traced_pass "strip-mine" (Strip_mine.program ~tiles) fused)
+      in
+      ignore (Validate.check_program stripped);
+      Log.debug (fun m ->
+          m "%s: strip-mined (%d nodes)" p.Ir.pname (nodes stripped));
+      let stripped_with_copies =
+        cleanup
+          (traced_pass "copy-insert" (Copy_insert.program ?budget_words)
+             stripped)
+      in
+      ignore (Validate.check_program stripped_with_copies);
+      let tiled =
+        cleanup
+          (traced_pass "copy-insert" (Copy_insert.program ?budget_words)
+             (traced_pass "interchange" (Interchange.program ?budget_words)
+                stripped))
+      in
+      ignore (Validate.check_program tiled);
+      Log.debug (fun m ->
+          m "%s: interchanged + copies (%d nodes)" p.Ir.pname (nodes tiled));
+      { fused; stripped; stripped_with_copies; tiled })

@@ -65,11 +65,17 @@ let explore_joint ?domains ?machine ?(opts = Lower.default_opts)
                    && Area_model.fits area })
              pars)
   in
-  let evaluated = Pool.map ?domains eval_assignment (cartesian candidates) in
+  let tally = Pool.tally () in
+  let evaluated = Pool.map ?domains ~tally eval_assignment (cartesian candidates) in
   let points = List.concat_map (function Ok ps -> ps | Error _ -> []) evaluated in
   let skipped =
     List.filter_map (function Error s -> Some s | Ok _ -> None) evaluated
   in
+  Metrics.incr ~by:(List.length points) "dse.points.evaluated";
+  Metrics.incr ~by:(List.length skipped) "dse.points.skipped";
+  Array.iteri
+    (fun d n -> Metrics.incr ~by:n (Printf.sprintf "dse.pool.d%d.completed" d))
+    tally.Pool.per_domain;
   (* List.sort is a stable merge sort and the pool preserves input order,
      so the sorted list is identical at every domain count *)
   let points = List.sort point_order points in

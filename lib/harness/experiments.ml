@@ -26,9 +26,11 @@ type fig7_row = {
 let configs = [ Baseline; Tiled; Tiled_meta ]
 
 let fig7 ?machine ?domains benches =
+  let tally = Pool.tally () in
   (* each bench is an independent compile + 3x simulate chain *)
-  Pool.map ?domains
-    (fun (bench : Suite.bench) ->
+  let rows =
+    Pool.map ?domains ~tally
+      (fun (bench : Suite.bench) ->
       let per_config =
         List.map
           (fun cfg ->
@@ -44,7 +46,13 @@ let fig7 ?machine ?domains benches =
         speedup = (fun cfg -> base_cycles /. fst (get cfg));
         area = (fun cfg -> snd (get cfg));
         area_ratio = (fun cfg -> Area_model.ratio (snd (get cfg)) base_area) })
-    benches
+      benches
+  in
+  Metrics.incr ~by:(List.length rows) "fig7.benches";
+  Array.iteri
+    (fun d n -> Metrics.incr ~by:n (Printf.sprintf "fig7.pool.d%d.completed" d))
+    tally.Pool.per_domain;
+  rows
 
 let paper_fig7_speedups =
   [ ("outerprod", (1.1, 1.1));

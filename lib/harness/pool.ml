@@ -1,12 +1,35 @@
 let default_domains () = Domain.recommended_domain_count ()
 
-let map ?domains f items =
+type tally = { mutable per_domain : int array }
+
+let tally () = { per_domain = [||] }
+
+let map ?domains ?tally:tl f items =
   let requested =
     match domains with Some d -> Int.max 1 d | None -> default_domains ()
   in
+  (* per-worker completed-item counters: each slot is written by exactly
+     one domain, and only read after the joins, so plain ints suffice
+     and the result list is untouched *)
+  let counts = ref [||] in
+  let init_counts n =
+    let a = Array.make n 0 in
+    counts := a;
+    (match tl with Some t -> t.per_domain <- a | None -> ());
+    a
+  in
   match items with
-  | [] -> []
-  | items when requested <= 1 || List.length items <= 1 -> List.map f items
+  | [] ->
+      ignore (init_counts 1);
+      []
+  | items when requested <= 1 || List.length items <= 1 ->
+      let a = init_counts 1 in
+      List.map
+        (fun x ->
+          let y = f x in
+          a.(0) <- a.(0) + 1;
+          y)
+        items
   | items ->
       let arr = Array.of_list items in
       let len = Array.length arr in
@@ -14,7 +37,9 @@ let map ?domains f items =
          which domain computed them *)
       let results = Array.make len None in
       let next = Atomic.make 0 in
-      let worker () =
+      let workers = Int.min requested len in
+      let a = init_counts workers in
+      let worker w () =
         let rec loop () =
           let i = Atomic.fetch_and_add next 1 in
           if i < len then begin
@@ -22,14 +47,16 @@ let map ?domains f items =
                Some
                  (try Ok (f arr.(i))
                   with e -> Error (e, Printexc.get_raw_backtrace ())));
+            a.(w) <- a.(w) + 1;
             loop ()
           end
         in
         loop ()
       in
-      let workers = Int.min requested len in
-      let spawned = List.init (workers - 1) (fun _ -> Domain.spawn worker) in
-      worker ();
+      let spawned =
+        List.init (workers - 1) (fun w -> Domain.spawn (worker (w + 1)))
+      in
+      worker 0 ();
       List.iter Domain.join spawned;
       (* deliver in index order, so the first failing *item* (not the
          first failing domain) determines the raised exception *)
@@ -39,5 +66,5 @@ let map ?domains f items =
            | Some (Error (e, bt)) -> Printexc.raise_with_backtrace e bt
            | None -> assert false)
 
-let mapi ?domains f items =
-  map ?domains (fun (i, x) -> f i x) (List.mapi (fun i x -> (i, x)) items)
+let mapi ?domains ?tally f items =
+  map ?domains ?tally (fun (i, x) -> f i x) (List.mapi (fun i x -> (i, x)) items)

@@ -13,12 +13,25 @@ val default_domains : unit -> int
 (** [Domain.recommended_domain_count ()] — the bound used when [?domains]
     is omitted. *)
 
-val map : ?domains:int -> ('a -> 'b) -> 'a list -> 'b list
+type tally = { mutable per_domain : int array }
+(** Per-worker completed-item counters, filled in by {!map} when passed:
+    [per_domain.(w)] is the number of items worker [w] completed (worker
+    0 is the calling domain; the array length is the worker count the
+    call actually used).  Purely observational — the result list is
+    bit-identical with or without a tally — and the slot sums always
+    equal the item count.  Feeds the {!Metrics} registry in the sweep
+    harnesses. *)
+
+val tally : unit -> tally
+(** An empty tally (replaced wholesale by the next {!map} it is passed
+    to). *)
+
+val map : ?domains:int -> ?tally:tally -> ('a -> 'b) -> 'a list -> 'b list
 (** [map ?domains f items] is [List.map f items], evaluated on up to
     [domains] domains (default {!default_domains}; values [<= 1] run
     sequentially on the calling domain, with no spawns).  If any [f item]
     raises, the exception of the smallest-index failing item is re-raised
     (with its backtrace) after all domains have joined. *)
 
-val mapi : ?domains:int -> (int -> 'a -> 'b) -> 'a list -> 'b list
+val mapi : ?domains:int -> ?tally:tally -> (int -> 'a -> 'b) -> 'a list -> 'b list
 (** Like {!map}, passing each item's index. *)

@@ -1,0 +1,124 @@
+type value =
+  | Counter of int
+  | Gauge of float
+  | Timer of { seconds : float; count : int }
+
+type timer_state = { mutable t_seconds : float; mutable t_count : int }
+
+type entry =
+  | Ecounter of int Atomic.t
+  | Egauge of float ref
+  | Etimer of timer_state
+
+let lock = Mutex.create ()
+let tbl : (string, entry) Hashtbl.t = Hashtbl.create 64
+
+let with_lock f =
+  Mutex.lock lock;
+  Fun.protect ~finally:(fun () -> Mutex.unlock lock) f
+
+let find_or name mk =
+  with_lock (fun () ->
+      match Hashtbl.find_opt tbl name with
+      | Some e -> e
+      | None ->
+          let e = mk () in
+          Hashtbl.add tbl name e;
+          e)
+
+let incr ?(by = 1) name =
+  match find_or name (fun () -> Ecounter (Atomic.make 0)) with
+  | Ecounter a -> ignore (Atomic.fetch_and_add a by)
+  | _ -> ()
+
+let set_gauge name v =
+  match find_or name (fun () -> Egauge (ref v)) with
+  | Egauge r -> with_lock (fun () -> r := v)
+  | _ -> ()
+
+let time name f =
+  let t0 = Unix.gettimeofday () in
+  let finish () =
+    let dt = Unix.gettimeofday () -. t0 in
+    match find_or name (fun () -> Etimer { t_seconds = 0.0; t_count = 0 }) with
+    | Etimer t ->
+        with_lock (fun () ->
+            t.t_seconds <- t.t_seconds +. dt;
+            t.t_count <- t.t_count + 1)
+    | _ -> ()
+  in
+  match f () with
+  | v ->
+      finish ();
+      v
+  | exception e ->
+      finish ();
+      raise e
+
+let snapshot () =
+  let entries =
+    with_lock (fun () -> Hashtbl.fold (fun k e acc -> (k, e) :: acc) tbl [])
+  in
+  entries
+  |> List.map (fun (k, e) ->
+         ( k,
+           match e with
+           | Ecounter a -> Counter (Atomic.get a)
+           | Egauge r -> Gauge !r
+           | Etimer t -> Timer { seconds = t.t_seconds; count = t.t_count } ))
+  |> List.sort (fun (a, _) (b, _) -> String.compare a b)
+
+let escape s =
+  let b = Buffer.create (String.length s + 2) in
+  String.iter
+    (fun c ->
+      match c with
+      | '"' -> Buffer.add_string b "\\\""
+      | '\\' -> Buffer.add_string b "\\\\"
+      | c when Char.code c < 0x20 ->
+          Buffer.add_string b (Printf.sprintf "\\u%04x" (Char.code c))
+      | c -> Buffer.add_char b c)
+    s;
+  Buffer.contents b
+
+let to_json () =
+  let snap = snapshot () in
+  let section f =
+    String.concat ", " (List.filter_map f snap)
+  in
+  let counters =
+    section (function
+      | k, Counter n -> Some (Printf.sprintf "\"%s\": %d" (escape k) n)
+      | _ -> None)
+  in
+  let gauges =
+    section (function
+      | k, Gauge v -> Some (Printf.sprintf "\"%s\": %.6g" (escape k) v)
+      | _ -> None)
+  in
+  let timers =
+    section (function
+      | k, Timer { seconds; count } ->
+          Some
+            (Printf.sprintf "\"%s\": {\"seconds\": %.6f, \"count\": %d}"
+               (escape k) seconds count)
+      | _ -> None)
+  in
+  Printf.sprintf
+    "{\"counters\": {%s}, \"gauges\": {%s}, \"timers\": {%s}}\n" counters
+    gauges timers
+
+let pp fmt () =
+  let snap = snapshot () in
+  if snap <> [] then Format.fprintf fmt "metrics@.";
+  List.iter
+    (fun (k, v) ->
+      match v with
+      | Counter n -> Format.fprintf fmt "  %-42s %14d@." k n
+      | Gauge v -> Format.fprintf fmt "  %-42s %14.6g@." k v
+      | Timer { seconds; count } ->
+          Format.fprintf fmt "  %-42s %11.3f ms  (%d calls)@." k
+            (1e3 *. seconds) count)
+    snap
+
+let reset () = with_lock (fun () -> Hashtbl.reset tbl)

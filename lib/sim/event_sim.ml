@@ -1,7 +1,30 @@
+type span = {
+  sp_track : string;
+  sp_name : string;
+  sp_start : float;
+  sp_finish : float;
+  sp_args : (string * float) list;
+}
+
+type timeline = {
+  tl_spans : span list;
+  tl_dram_busy : (float * float) list;
+  tl_makespan : float;
+}
+
+type track_stats = {
+  tk_track : string;
+  tk_spans : int;
+  tk_busy : float;
+  tk_first : float;
+  tk_last : float;
+}
+
 type result = {
   report : Simulate.report;
   events : int;
   fallbacks : int;
+  timeline : timeline option;
 }
 
 let max_events = 200_000
@@ -20,7 +43,16 @@ type st = {
   mutable fallbacks : int;
   mutable reads : (string * float) list;
   mutable writes : (string * float) list;
+  record : bool;  (** collect the timeline *)
+  mutable spans : span list;  (** newest first *)
 }
+
+let push_span st ~track ~name ~start ~finish args =
+  if st.record then
+    st.spans <-
+      { sp_track = track; sp_name = name; sp_start = start; sp_finish = finish;
+        sp_args = args }
+      :: st.spans
 
 let add st table (arr, words) =
   let rec go = function
@@ -172,7 +204,7 @@ let rec exec st t (c : Hw.ctrl) =
       (* all start together; the DRAM queue serializes their transfers in
          list order *)
       List.fold_left (fun fin ch -> Float.max fin (exec st t ch)) t children
-  | Hw.Loop { trips; meta; stages; _ } ->
+  | Hw.Loop { name; trips; meta; stages; _ } ->
       if instance_count st c > float_of_int max_events then
         analytic_fallback st t c
       else begin
@@ -190,12 +222,20 @@ let rec exec st t (c : Hw.ctrl) =
           let nstages = List.length stages in
           let avail = Array.make nstages t in
           let finish_last = ref t in
-          for _i = 1 to iters do
+          for i = 1 to iters do
             let prev_done = ref t in
             List.iteri
               (fun s stage ->
                 let start = Float.max !prev_done avail.(s) in
                 let fin = exec st start stage in
+                (* Gantt: one track per metapipeline stage, one span per
+                   iteration instance; stage instances never overlap on
+                   their own track (avail.(s) serializes them) *)
+                push_span st
+                  ~track:(name ^ "." ^ Hw.ctrl_name stage)
+                  ~name:(Printf.sprintf "%s#%d" (Hw.ctrl_name stage) i)
+                  ~start ~finish:fin
+                  [ ("iteration", float_of_int i) ];
                 avail.(s) <- fin;
                 prev_done := fin;
                 if s = nstages - 1 then finish_last := fin)
@@ -205,16 +245,63 @@ let rec exec st t (c : Hw.ctrl) =
         end
       end
 
-let run ?(machine = Machine.default) (d : Hw.design) ~sizes =
+let run ?(machine = Machine.default) ?(record = false) (d : Hw.design) ~sizes =
   let st =
     { machine; sizes; dram_cal = []; dram_busy = 0.0; events = 0;
-      fallbacks = 0; reads = []; writes = [] }
+      fallbacks = 0; reads = []; writes = []; record; spans = [] }
   in
-  let fin = exec st 0.0 d.Hw.top in
+  (* when recording, each top-level controller also gets a span on its
+     own track (the same schedule exec applies: Seq chains, Par forks) *)
+  let traced_child now ch =
+    let fin = exec st now ch in
+    push_span st ~track:(Hw.ctrl_name ch) ~name:(Hw.ctrl_name ch) ~start:now
+      ~finish:fin
+      [ ("top-level", 1.0) ];
+    fin
+  in
+  let fin =
+    match d.Hw.top with
+    | Hw.Seq { children; _ } when record ->
+        List.fold_left traced_child 0.0 children
+    | Hw.Par { children; _ } when record ->
+        List.fold_left
+          (fun fin ch -> Float.max fin (traced_child 0.0 ch))
+          0.0 children
+    | top -> exec st 0.0 top
+  in
   { report =
       { Simulate.cycles = fin;
         dram_cycles = st.dram_busy;
         reads = List.sort compare st.reads;
         writes = List.sort compare st.writes };
     events = st.events;
-    fallbacks = st.fallbacks }
+    fallbacks = st.fallbacks;
+    timeline =
+      (if record then
+         Some
+           { tl_spans = List.rev st.spans;
+             tl_dram_busy = st.dram_cal;
+             tl_makespan = fin }
+       else None) }
+
+let track_stats tl =
+  let tbl : (string, track_stats) Hashtbl.t = Hashtbl.create 16 in
+  let touch track start finish =
+    match Hashtbl.find_opt tbl track with
+    | Some tk ->
+        Hashtbl.replace tbl track
+          { tk with
+            tk_spans = tk.tk_spans + 1;
+            tk_busy = tk.tk_busy +. (finish -. start);
+            tk_first = Float.min tk.tk_first start;
+            tk_last = Float.max tk.tk_last finish }
+    | None ->
+        Hashtbl.add tbl track
+          { tk_track = track; tk_spans = 1; tk_busy = finish -. start;
+            tk_first = start; tk_last = finish }
+  in
+  List.iter (fun sp -> touch sp.sp_track sp.sp_start sp.sp_finish) tl.tl_spans;
+  List.iter (fun (s, e) -> touch "DRAM" s e) tl.tl_dram_busy;
+  List.sort
+    (fun a b -> String.compare a.tk_track b.tk_track)
+    (Hashtbl.fold (fun _ v acc -> v :: acc) tbl [])

@@ -19,13 +19,55 @@
     instances fall back to the analytic engine for the offending subtree
     (reported in {!result}); none of the paper's designs do. *)
 
+(** {1 Timeline}
+
+    With [~record:true], {!run} additionally captures its virtual
+    schedule as a Gantt timeline: one track per metapipeline stage
+    (track [loop.stage], one span per iteration instance), one track
+    per top-level controller, and the DRAM busy calendar.  The timeline
+    is a pure function of (machine, sizes, design) — bit-identical
+    across runs — and is what [ppl-fpga timeline] and [--trace] export
+    as Perfetto JSON (see {!Sim_trace}). *)
+
+type span = {
+  sp_track : string;  (** e.g. ["loop_3.stage_load_4"] *)
+  sp_name : string;  (** instance label, e.g. ["stage_load_4#17"] *)
+  sp_start : float;  (** virtual cycles *)
+  sp_finish : float;
+  sp_args : (string * float) list;  (** e.g. the iteration index *)
+}
+
+type timeline = {
+  tl_spans : span list;  (** in schedule order; per-track starts ascend *)
+  tl_dram_busy : (float * float) list;  (** merged DRAM busy intervals *)
+  tl_makespan : float;  (** = [report.cycles] *)
+}
+
+type track_stats = {
+  tk_track : string;
+  tk_spans : int;
+  tk_busy : float;  (** summed span cycles on the track *)
+  tk_first : float;
+  tk_last : float;
+}
+
+val track_stats : timeline -> track_stats list
+(** Per-track occupancy (including the synthetic [DRAM] track), sorted
+    by track name.  Utilization is [tk_busy /. tl_makespan]; stall is
+    [(tk_last -. tk_first) -. tk_busy]. *)
+
 type result = {
   report : Simulate.report;
   events : int;  (** controller instances scheduled *)
   fallbacks : int;  (** subtrees beyond the event budget, analytic *)
+  timeline : timeline option;  (** present iff [~record:true] *)
 }
 
 val max_events : int
 
 val run :
-  ?machine:Machine.t -> Hw.design -> sizes:(Sym.t * int) list -> result
+  ?machine:Machine.t ->
+  ?record:bool ->
+  Hw.design ->
+  sizes:(Sym.t * int) list ->
+  result

@@ -1,0 +1,11 @@
+(** Bridge from {!Event_sim} timelines to the observability layer.
+
+    {!record} pushes every timeline span (stage instances, top-level
+    controllers, DRAM busy intervals) into the global {!Trace} collector
+    as virtual-cycle B/E events, and publishes per-track occupancy into
+    {!Metrics} as gauges ([sim.track.<track>.busy_cycles], [.util],
+    [.stall_cycles], [.spans]) plus [sim.makespan_cycles].  All recorded
+    data is on the virtual clock, so the resulting trace JSON is
+    bit-deterministic. *)
+
+val record : Event_sim.timeline -> unit

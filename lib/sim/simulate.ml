@@ -108,35 +108,44 @@ end)
 type cache = {
   mutable ckey : (Machine.t * (Sym.t * int) list) option;
   tbl : node_res Ctbl.t;
+  mutable hits : int;  (** lifetime lookup hits (survive resets) *)
+  mutable misses : int;  (** lifetime misses = distinct subtrees simulated *)
 }
 
-let cache () = { ckey = None; tbl = Ctbl.create 64 }
+type cache_stats = { hits : int; misses : int }
 
-(* a cache is only valid for one (machine, sizes) pair: reset on change *)
-let table_of cache machine sizes =
-  (match cache.ckey with
+let cache () = { ckey = None; tbl = Ctbl.create 64; hits = 0; misses = 0 }
+let cache_stats (c : cache) = { hits = c.hits; misses = c.misses }
+let cache_nodes c = Ctbl.length c.tbl
+
+(* a cache is only valid for one (machine, sizes) pair: reset on change
+   (the hit/miss counters are lifetime totals and are not reset) *)
+let prepare cache machine sizes =
+  match cache.ckey with
   | Some (m, s) when m == machine && s == sizes -> ()
   | Some (m, s) when m = machine && s = sizes -> ()
   | _ ->
       Ctbl.reset cache.tbl;
-      cache.ckey <- Some (machine, sizes));
-  cache.tbl
+      cache.ckey <- Some (machine, sizes)
 
-let rec sim tbl (m : Machine.t) sizes (c : Hw.ctrl) : node_res =
-  match Ctbl.find_opt tbl c with
-  | Some r -> r
+let rec sim cc (m : Machine.t) sizes (c : Hw.ctrl) : node_res =
+  match Ctbl.find_opt cc.tbl c with
+  | Some r ->
+      cc.hits <- cc.hits + 1;
+      r
   | None ->
-      let r = sim_uncached tbl m sizes c in
-      Ctbl.add tbl c r;
+      cc.misses <- cc.misses + 1;
+      let r = sim_uncached cc m sizes c in
+      Ctbl.add cc.tbl c r;
       r
 
-and sim_uncached tbl (m : Machine.t) sizes (c : Hw.ctrl) : node_res =
+and sim_uncached cc (m : Machine.t) sizes (c : Hw.ctrl) : node_res =
   match c with
   | Hw.Seq { children; _ } ->
-      List.fold_left (fun acc ch -> seq_compose acc (sim tbl m sizes ch)) zero
+      List.fold_left (fun acc ch -> seq_compose acc (sim cc m sizes ch)) zero
         children
   | Hw.Par { children; _ } ->
-      let rs = List.map (sim tbl m sizes) children in
+      let rs = List.map (sim cc m sizes) children in
       { n_cycles =
           Float.max
             (List.fold_left (fun acc r -> Float.max acc r.n_cycles) 0.0 rs)
@@ -151,7 +160,7 @@ and sim_uncached tbl (m : Machine.t) sizes (c : Hw.ctrl) : node_res =
             (fun acc r -> merge_traffic acc r.n_writes)
             Smap.empty rs }
   | Hw.Loop { trips; meta; stages; _ } ->
-      let rs = List.map (sim tbl m sizes) stages in
+      let rs = List.map (sim cc m sizes) stages in
       let iter =
         List.fold_left (fun acc t -> acc *. Hw.trip_eval sizes t) 1.0 trips
       in
@@ -229,13 +238,15 @@ and sim_uncached tbl (m : Machine.t) sizes (c : Hw.ctrl) : node_res =
         n_reads = Smap.empty;
         n_writes = Smap.singleton array w }
 
+let scratch_or machine sizes = function
+  | Some c ->
+      prepare c machine sizes;
+      c
+  | None -> cache ()
+
 let run ?(machine = Machine.default) ?cache:c (d : Hw.design) ~sizes =
-  let tbl =
-    match c with
-    | Some c -> table_of c machine sizes
-    | None -> Ctbl.create 16
-  in
-  let r = sim tbl machine sizes d.Hw.top in
+  let cc = scratch_or machine sizes c in
+  let r = sim cc machine sizes d.Hw.top in
   { cycles = r.n_cycles;
     dram_cycles = r.n_dram;
     reads = Smap.bindings r.n_reads;
@@ -270,14 +281,10 @@ let breakdown ?(machine = Machine.default) ?cache:c (d : Hw.design) ~sizes =
   (* one memo table serves every node: the root's sim fills it, so the
      per-node lookups below are O(1) instead of re-simulating each
      subtree once per ancestor (O(n * depth)) *)
-  let tbl =
-    match c with
-    | Some c -> table_of c machine sizes
-    | None -> Ctbl.create 64
-  in
+  let cc = scratch_or machine sizes c in
   let rows = ref [] in
   let rec go depth invocations c =
-    let r = sim tbl machine sizes c in
+    let r = sim cc machine sizes c in
     rows :=
       { br_name = Hw.ctrl_name c;
         br_depth = depth;
@@ -324,11 +331,7 @@ type bottleneck_row = {
 }
 
 let bottlenecks ?(machine = Machine.default) ?cache:c (d : Hw.design) ~sizes =
-  let tbl =
-    match c with
-    | Some c -> table_of c machine sizes
-    | None -> Ctbl.create 64
-  in
+  let cc = scratch_or machine sizes c in
   let rows = ref [] in
   Hw.iter_ctrls
     (fun c ->
@@ -336,7 +339,7 @@ let bottlenecks ?(machine = Machine.default) ?cache:c (d : Hw.design) ~sizes =
       | Hw.Loop { name; trips; meta = true; stages } when List.length stages > 1
         ->
           let rs =
-            List.map (fun s -> (Hw.ctrl_name s, sim tbl machine sizes s)) stages
+            List.map (fun s -> (Hw.ctrl_name s, sim cc machine sizes s)) stages
           in
           let iters =
             Float.max 1.0

@@ -42,6 +42,18 @@ type cache
 
 val cache : unit -> cache
 
+type cache_stats = { hits : int; misses : int }
+(** Lifetime lookup totals for a cache: [hits] counts memo-table hits,
+    [misses] counts distinct subtrees actually simulated.  The counters
+    survive the transparent reset on a (machine, sizes) change, so a
+    second report sharing the cache at the same sizes is all hits. *)
+
+val cache_stats : cache -> cache_stats
+
+val cache_nodes : cache -> int
+(** Memoized controller subtrees currently held (resets with the table
+    on a (machine, sizes) change). *)
+
 val run :
   ?machine:Machine.t ->
   ?cache:cache ->

@@ -37,6 +37,37 @@ let test_first_exception_wins () =
             3 n)
     [ 1; 2; 4 ]
 
+let test_tally () =
+  (* the per-domain completed counters account for every item exactly
+     once, at every domain count, without perturbing the results *)
+  let items = List.init 100 (fun i -> i) in
+  let f x = x * 3 in
+  List.iter
+    (fun domains ->
+      let tally = Pool.tally () in
+      let out = Pool.map ~domains ~tally f items in
+      Alcotest.(check (list int))
+        (Printf.sprintf "results unchanged (domains=%d)" domains)
+        (List.map f items) out;
+      let sum = Array.fold_left ( + ) 0 tally.Pool.per_domain in
+      Alcotest.(check int)
+        (Printf.sprintf "counts sum to item count (domains=%d)" domains)
+        (List.length items) sum;
+      Alcotest.(check bool)
+        (Printf.sprintf "worker count bounded (domains=%d)" domains)
+        true
+        (Array.length tally.Pool.per_domain >= 1
+        && Array.length tally.Pool.per_domain <= Int.max 1 domains))
+    [ 1; 2; 4; 16 ];
+  (* edges: empty and singleton inputs still produce a consistent tally *)
+  let t0 = Pool.tally () in
+  ignore (Pool.map ~domains:4 ~tally:t0 (fun x -> x) []);
+  Alcotest.(check int) "empty input" 0 (Array.fold_left ( + ) 0 t0.Pool.per_domain);
+  let t1 = Pool.tally () in
+  ignore (Pool.map ~domains:4 ~tally:t1 (fun x -> x) [ 42 ]);
+  Alcotest.(check int) "singleton input" 1
+    (Array.fold_left ( + ) 0 t1.Pool.per_domain)
+
 let test_edge_shapes () =
   Alcotest.(check (list int)) "empty" [] (Pool.map ~domains:4 (fun x -> x) []);
   Alcotest.(check (list int))
@@ -54,4 +85,5 @@ let () =
           Alcotest.test_case "mapi" `Quick test_mapi;
           Alcotest.test_case "first exception wins" `Quick
             test_first_exception_wins;
+          Alcotest.test_case "tally" `Quick test_tally;
           Alcotest.test_case "edge shapes" `Quick test_edge_shapes ] ) ]

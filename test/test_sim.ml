@@ -353,6 +353,28 @@ let test_memo_cache_consistency () =
         (Simulate.run ~cache d ~sizes:sizes' = Simulate.run d ~sizes:sizes'))
     [ "kmeans"; "gda"; "sumrows" ]
 
+let test_cache_stats () =
+  (* two reports sharing one cache: the second is answered entirely from
+     the memo table — no new misses, only hits *)
+  let bench = Suite.find (Suite.all ()) "gemm" in
+  let d = Experiments.design_of Experiments.Tiled_meta bench in
+  let sizes = bench.Suite.sim_sizes in
+  let cache = Simulate.cache () in
+  let r1 = Simulate.run ~cache d ~sizes in
+  let s1 = Simulate.cache_stats cache in
+  Alcotest.(check bool) "first run misses" true (s1.Simulate.misses > 0);
+  let r2 = Simulate.run ~cache d ~sizes in
+  let s2 = Simulate.cache_stats cache in
+  Alcotest.(check int) "second run adds no misses" s1.Simulate.misses
+    s2.Simulate.misses;
+  Alcotest.(check bool) "second run is all hits" true
+    (s2.Simulate.hits > s1.Simulate.hits);
+  Alcotest.(check bool) "reports identical" true (r1 = r2);
+  (* memoized distinct subtrees are exactly the lifetime misses while the
+     key stays fixed *)
+  Alcotest.(check int) "nodes = misses" s2.Simulate.misses
+    (Simulate.cache_nodes cache)
+
 (* ---------------- rebalancing ---------------- *)
 
 let test_rebalance () =
@@ -428,7 +450,8 @@ let () =
         ] );
       ( "memoization",
         [ Alcotest.test_case "cached reports match uncached" `Quick
-            test_memo_cache_consistency ] );
+            test_memo_cache_consistency;
+          Alcotest.test_case "cache stats" `Quick test_cache_stats ] );
       ( "rebalance",
         [ Alcotest.test_case "gda stage parallelization" `Quick test_rebalance ] );
       ( "area",

@@ -1,0 +1,388 @@
+(* The observability layer: the Chrome trace-event JSON emitted by
+   [Trace] must parse, its B/E spans must balance per track, simulator
+   spans must live on the deterministic virtual clock, and the stripped
+   (wall-clock-free) form must be byte-stable across runs and domain
+   counts.  The acceptance check ties the timeline back to the cycle
+   model: gemm's top-level spans summed reproduce the event engine's
+   cycle total, which in turn sits within 2% of the analytic report. *)
+
+(* ------------------- minimal JSON recursive descent ------------------ *)
+
+type json =
+  | JNull
+  | JBool of bool
+  | JNum of float
+  | JStr of string
+  | JArr of json list
+  | JObj of (string * json) list
+
+exception Bad_json of string
+
+let parse (s : string) : json =
+  let n = String.length s in
+  let pos = ref 0 in
+  let peek () = if !pos < n then s.[!pos] else '\000' in
+  let advance () = incr pos in
+  let rec skip_ws () =
+    match peek () with
+    | ' ' | '\t' | '\n' | '\r' ->
+        advance ();
+        skip_ws ()
+    | _ -> ()
+  in
+  let expect c =
+    if peek () = c then advance ()
+    else raise (Bad_json (Printf.sprintf "expected %c at %d" c !pos))
+  in
+  let literal word v =
+    let l = String.length word in
+    if !pos + l <= n && String.sub s !pos l = word then begin
+      pos := !pos + l;
+      v
+    end
+    else raise (Bad_json ("bad literal at " ^ string_of_int !pos))
+  in
+  let parse_string () =
+    expect '"';
+    let b = Buffer.create 16 in
+    let rec go () =
+      if !pos >= n then raise (Bad_json "unterminated string");
+      match peek () with
+      | '"' ->
+          advance ();
+          Buffer.contents b
+      | '\\' ->
+          advance ();
+          (match peek () with
+          | '"' -> Buffer.add_char b '"'
+          | '\\' -> Buffer.add_char b '\\'
+          | '/' -> Buffer.add_char b '/'
+          | 'n' -> Buffer.add_char b '\n'
+          | 't' -> Buffer.add_char b '\t'
+          | 'r' -> Buffer.add_char b '\r'
+          | 'b' -> Buffer.add_char b '\b'
+          | 'f' -> Buffer.add_char b '\012'
+          | 'u' ->
+              if !pos + 5 > n then raise (Bad_json "truncated \\u escape");
+              let code = int_of_string ("0x" ^ String.sub s (!pos + 1) 4) in
+              pos := !pos + 4;
+              (* the emitters only escape control chars, all ASCII *)
+              if code < 128 then Buffer.add_char b (Char.chr code)
+              else raise (Bad_json "non-ASCII \\u escape")
+          | c -> raise (Bad_json (Printf.sprintf "bad escape \\%c" c)));
+          advance ();
+          go ()
+      | c ->
+          Buffer.add_char b c;
+          advance ();
+          go ()
+    in
+    go ()
+  in
+  let parse_number () =
+    let start = !pos in
+    let isnum c =
+      (c >= '0' && c <= '9') || c = '-' || c = '+' || c = '.' || c = 'e'
+      || c = 'E'
+    in
+    while isnum (peek ()) do
+      advance ()
+    done;
+    if !pos = start then
+      raise (Bad_json ("expected a value at " ^ string_of_int start));
+    JNum (float_of_string (String.sub s start (!pos - start)))
+  in
+  let rec parse_value () =
+    skip_ws ();
+    match peek () with
+    | '{' -> parse_obj ()
+    | '[' -> parse_arr ()
+    | '"' -> JStr (parse_string ())
+    | 't' -> literal "true" (JBool true)
+    | 'f' -> literal "false" (JBool false)
+    | 'n' -> literal "null" JNull
+    | _ -> parse_number ()
+  and parse_obj () =
+    expect '{';
+    skip_ws ();
+    if peek () = '}' then begin
+      advance ();
+      JObj []
+    end
+    else
+      let rec members acc =
+        skip_ws ();
+        let k = parse_string () in
+        skip_ws ();
+        expect ':';
+        let v = parse_value () in
+        skip_ws ();
+        match peek () with
+        | ',' ->
+            advance ();
+            members ((k, v) :: acc)
+        | '}' ->
+            advance ();
+            JObj (List.rev ((k, v) :: acc))
+        | _ -> raise (Bad_json ("expected , or } at " ^ string_of_int !pos))
+      in
+      members []
+  and parse_arr () =
+    expect '[';
+    skip_ws ();
+    if peek () = ']' then begin
+      advance ();
+      JArr []
+    end
+    else
+      let rec elems acc =
+        let v = parse_value () in
+        skip_ws ();
+        match peek () with
+        | ',' ->
+            advance ();
+            elems (v :: acc)
+        | ']' ->
+            advance ();
+            JArr (List.rev (v :: acc))
+        | _ -> raise (Bad_json ("expected , or ] at " ^ string_of_int !pos))
+      in
+      elems []
+  in
+  let v = parse_value () in
+  skip_ws ();
+  if !pos <> n then raise (Bad_json "trailing garbage");
+  v
+
+let field name = function
+  | JObj kvs -> (
+      match List.assoc_opt name kvs with
+      | Some v -> v
+      | None -> Alcotest.fail ("missing field " ^ name))
+  | _ -> Alcotest.fail ("not an object (looking up " ^ name ^ ")")
+
+let num = function JNum f -> f | _ -> Alcotest.fail "expected a number"
+let str = function JStr s -> s | _ -> Alcotest.fail "expected a string"
+let int_of j = int_of_float (num j)
+
+let events_of json =
+  match field "traceEvents" json with
+  | JArr evs -> evs
+  | _ -> Alcotest.fail "traceEvents is not an array"
+
+(* ------------------------------ captures ----------------------------- *)
+
+let gemm () = Suite.find (Suite.all ()) "gemm"
+
+(* what `ppl-fpga simulate gemm --trace` records: traced compile passes
+   (wall clock) plus the event engine's virtual timeline *)
+let capture_sim_trace () =
+  Trace.clear ();
+  Trace.enable ();
+  let bench = gemm () in
+  let d = Experiments.design_of Experiments.Tiled_meta bench in
+  let r = Event_sim.run ~record:true d ~sizes:bench.Suite.sim_sizes in
+  Option.iter Sim_trace.record r.Event_sim.timeline;
+  Trace.disable ();
+  (Trace.to_json (), r)
+
+(* what `ppl-fpga timeline gemm` emits: the design is compiled before the
+   collector is enabled, so the trace holds only virtual-clock events *)
+let capture_timeline () =
+  let bench = gemm () in
+  let d = Experiments.design_of Experiments.Tiled_meta bench in
+  Trace.clear ();
+  Trace.enable ();
+  let r = Event_sim.run ~record:true d ~sizes:bench.Suite.sim_sizes in
+  Option.iter Sim_trace.record r.Event_sim.timeline;
+  Trace.disable ();
+  Trace.to_json ()
+
+(* a full mixed-clock run with multi-domain wall activity: compile + sim
+   timeline + a small DSE sweep fanned out over [domains] *)
+let capture_full ~domains () =
+  Trace.clear ();
+  Trace.enable ();
+  let bench = gemm () in
+  let d = Experiments.design_of Experiments.Tiled_meta bench in
+  let r = Event_sim.run ~record:true d ~sizes:bench.Suite.sim_sizes in
+  Option.iter Sim_trace.record r.Event_sim.timeline;
+  let candidates =
+    List.map (fun (s, dft) -> (s, [ dft; dft * 2 ])) bench.Suite.tiles
+  in
+  ignore
+    (Dse.explore ~domains ~prog:bench.Suite.prog ~candidates
+       ~sizes:bench.Suite.sim_sizes ());
+  Trace.disable ();
+  Trace.to_json ()
+
+let contains_sub line sub =
+  let nl = String.length line and ns = String.length sub in
+  let rec go i = i + ns <= nl && (String.sub line i ns = sub || go (i + 1)) in
+  go 0
+
+(* golden form: drop wall-clock lines (pid 0, the only nondeterministic
+   events) and normalize the trailing commas their removal exposes *)
+let strip_wall json =
+  String.split_on_char '\n' json
+  |> List.filter (fun l -> not (contains_sub l "\"pid\": 0"))
+  |> List.map (fun l ->
+         let len = String.length l in
+         if len > 0 && l.[len - 1] = ',' then String.sub l 0 (len - 1) else l)
+
+(* ------------------------------- tests ------------------------------- *)
+
+let test_json_parses () =
+  let json, _ = capture_sim_trace () in
+  let evs = events_of (parse json) in
+  Alcotest.(check bool) "trace has events" true (List.length evs > 100);
+  (* both clocks are present: wall passes and virtual sim spans *)
+  let pids = List.map (fun e -> int_of (field "pid" e)) evs in
+  Alcotest.(check bool) "wall events present" true (List.mem 0 pids);
+  Alcotest.(check bool) "virtual events present" true (List.mem 1 pids)
+
+let test_be_balance () =
+  let json, _ = capture_sim_trace () in
+  let evs = events_of (parse json) in
+  let depth : (int * int, int) Hashtbl.t = Hashtbl.create 16 in
+  let pairs = ref 0 in
+  List.iter
+    (fun e ->
+      let ph = str (field "ph" e) in
+      if ph = "B" || ph = "E" then begin
+        let key = (int_of (field "pid" e), int_of (field "tid" e)) in
+        let d = Option.value ~default:0 (Hashtbl.find_opt depth key) in
+        let d' = if ph = "B" then d + 1 else d - 1 in
+        if d' < 0 then Alcotest.fail "E before B on a track";
+        if ph = "E" then incr pairs;
+        Hashtbl.replace depth key d'
+      end)
+    evs;
+  Alcotest.(check bool) "has span pairs" true (!pairs > 100);
+  Hashtbl.iter
+    (fun _ d -> Alcotest.(check int) "every track balances" 0 d)
+    depth
+
+let test_virtual_timestamps () =
+  let json, r = capture_sim_trace () in
+  let evs = events_of (parse json) in
+  let max_ts = ref 0.0 in
+  List.iter
+    (fun e ->
+      let ph = str (field "ph" e) in
+      if ph = "B" || ph = "E" then begin
+        (* every sim span lives on the virtual pid with a cycle timestamp *)
+        Alcotest.(check int) "sim spans on virtual pid" Trace.virtual_pid
+          (int_of (field "pid" e));
+        let ts = num (field "ts" e) in
+        Alcotest.(check bool) "cycle timestamps are finite and >= 0" true
+          (Float.is_finite ts && ts >= 0.0);
+        if ts > !max_ts then max_ts := ts
+      end)
+    evs;
+  let cycles = r.Event_sim.report.Simulate.cycles in
+  Alcotest.(check bool) "timeline ends at the reported cycle count" true
+    (Float.abs (!max_ts -. cycles) /. cycles < 1e-9)
+
+let test_root_spans_sum_to_report () =
+  (* acceptance: per-stage spans of the top-level track, summed, equal
+     the event engine's cycle total for tiled gemm, which agrees with
+     the analytic report within 2% *)
+  let bench = gemm () in
+  let d = Experiments.design_of Experiments.Tiled_meta bench in
+  let sizes = bench.Suite.sim_sizes in
+  let r = Event_sim.run ~record:true d ~sizes in
+  let tl =
+    match r.Event_sim.timeline with
+    | Some tl -> tl
+    | None -> Alcotest.fail "no timeline recorded"
+  in
+  let root_sum =
+    List.fold_left
+      (fun acc (sp : Event_sim.span) ->
+        if String.contains sp.Event_sim.sp_track '.' then acc
+        else acc +. (sp.Event_sim.sp_finish -. sp.Event_sim.sp_start))
+      0.0 tl.Event_sim.tl_spans
+  in
+  let ev = r.Event_sim.report.Simulate.cycles in
+  let rel a b = Float.abs (a -. b) /. Float.max a b in
+  Alcotest.(check bool) "has root spans" true (root_sum > 0.0);
+  Alcotest.(check bool) "root spans sum to the event cycle total" true
+    (rel root_sum ev < 1e-9);
+  Alcotest.(check bool) "makespan equals the report" true
+    (rel tl.Event_sim.tl_makespan ev < 1e-9);
+  let an = (Simulate.run d ~sizes).Simulate.cycles in
+  Alcotest.(check bool) "event total within 2% of analytic" true
+    (rel an ev < 0.02);
+  Alcotest.(check int) "no fallbacks on gemm" 0 r.Event_sim.fallbacks
+
+let test_timeline_byte_identical () =
+  (* virtual-only capture: fully deterministic, byte for byte *)
+  let a = capture_timeline () and b = capture_timeline () in
+  Alcotest.(check bool) "nonempty" true (String.length a > 1000);
+  Alcotest.(check bool) "byte-identical across runs" true (String.equal a b)
+
+let test_stripped_determinism () =
+  let a = capture_full ~domains:1 () in
+  let b = capture_full ~domains:1 () in
+  let c = capture_full ~domains:2 () in
+  (* wall lines exist and are the only thing stripping removes *)
+  Alcotest.(check bool) "wall section present" true
+    (List.length (strip_wall a)
+    < List.length (String.split_on_char '\n' a));
+  Alcotest.(check (list string)) "stripped form stable across runs"
+    (strip_wall a) (strip_wall b);
+  Alcotest.(check (list string)) "stripped form stable across domain counts"
+    (strip_wall a) (strip_wall c)
+
+let test_metrics_json () =
+  Metrics.reset ();
+  Metrics.incr ~by:3 "t.counter";
+  Metrics.incr "t.counter";
+  Metrics.set_gauge "t.gauge" 0.25;
+  ignore (Metrics.time "t.timer" (fun () -> 42));
+  let j = parse (Metrics.to_json ()) in
+  Alcotest.(check (float 0.0)) "counter value" 4.0
+    (num (field "t.counter" (field "counters" j)));
+  Alcotest.(check (float 0.0)) "gauge value" 0.25
+    (num (field "t.gauge" (field "gauges" j)));
+  Alcotest.(check (float 0.0)) "timer count" 1.0
+    (num (field "count" (field "t.timer" (field "timers" j))))
+
+let test_pass_instrumentation () =
+  (* compiling a benchmark populates the pass timers even with tracing
+     off: the registry is always on *)
+  Metrics.reset ();
+  let bench = gemm () in
+  ignore (Experiments.design_of Experiments.Tiled_meta bench);
+  let snap = Metrics.snapshot () in
+  let timer_count name =
+    match List.assoc_opt name snap with
+    | Some (Metrics.Timer { count; _ }) -> count
+    | _ -> 0
+  in
+  List.iter
+    (fun pass ->
+      Alcotest.(check bool) (pass ^ " timed") true (timer_count pass >= 1))
+    [ "pass.fusion"; "pass.strip-mine"; "pass.interchange"; "pass.cse";
+      "pass.lower"; "pass.metapipe" ]
+
+let () =
+  Alcotest.run "trace"
+    [ ( "json",
+        [ Alcotest.test_case "trace parses" `Quick test_json_parses;
+          Alcotest.test_case "metrics parse" `Quick test_metrics_json ] );
+      ( "spans",
+        [ Alcotest.test_case "B/E balance per track" `Quick test_be_balance;
+          Alcotest.test_case "virtual timestamps" `Quick
+            test_virtual_timestamps;
+          Alcotest.test_case "root spans reproduce the report" `Quick
+            test_root_spans_sum_to_report ] );
+      ( "determinism",
+        [ Alcotest.test_case "timeline byte-identical" `Quick
+            test_timeline_byte_identical;
+          Alcotest.test_case "stripped trace stable" `Quick
+            test_stripped_determinism ] );
+      ( "metrics",
+        [ Alcotest.test_case "pass timers recorded" `Quick
+            test_pass_instrumentation ] ) ]
