@@ -439,14 +439,12 @@ let compile_cmd =
 let bounds_cmd =
   let run bench stage =
     let prog = stage_prog bench stage in
-    let fs = Bounds.check_program prog in
-    List.iter (fun f -> Format.printf "%a@." Bounds.pp_finding f) fs;
-    let v = List.length (Bounds.violations fs) in
+    let accesses, ds = Bounds.audit prog in
+    Format.printf "%a" Diagnostic.pp_list ds;
+    let v = List.length (Diagnostic.errors ds) in
+    let u = List.length ds - v in
     Printf.printf "%d accesses: %d proven, %d unknown, %d violations\n"
-      (List.length fs)
-      (List.length fs - v - List.length (Bounds.unproven fs))
-      (List.length (Bounds.unproven fs))
-      v;
+      accesses (accesses - u - v) u v;
     if v > 0 then exit 1
   in
   Cmd.v
@@ -530,6 +528,18 @@ let check_cmd =
       if not ok then incr failures
     in
     pr "%s\n" bench.Suite.name;
+    (* 0. the source program is PPL-lint-clean at error severity — this
+       runs before any tiling, where a race or legality finding still
+       points at the pattern that caused it *)
+    let src_lints = Ppl_lint.check_all bench.Suite.prog in
+    report "lint-ir: source"
+      (not (Diagnostic.has_errors src_lints))
+      (if Diagnostic.has_errors src_lints then
+         String.concat "; "
+           (List.map
+              (Format.asprintf "%a" Diagnostic.pp)
+              (Diagnostic.errors src_lints))
+       else Diagnostic.summary src_lints);
     let r = tiling_of bench in
     let stages =
       [ ("fused", r.Tiling.fused);
@@ -573,13 +583,12 @@ let check_cmd =
     | v -> report "printer/parser roundtrip" (Value.equal ~eps:1e-6 reference v) ""
     | exception e -> report "printer/parser roundtrip" false (Printexc.to_string e));
     (* 4. static bounds on the tiled program *)
-    let fs = Bounds.check_program r.Tiling.tiled in
-    let v = List.length (Bounds.violations fs) in
+    let accesses, ds = Bounds.audit r.Tiling.tiled in
+    let v = List.length (Diagnostic.errors ds) in
+    let u = List.length ds - v in
     report "bounds: tiled accesses" (v = 0)
       (Printf.sprintf "%d proven, %d unknown, %d violations"
-         (List.length fs - v - List.length (Bounds.unproven fs))
-         (List.length (Bounds.unproven fs))
-         v);
+         (accesses - u - v) u v);
     (* 5. every configuration's design passes the hardware validator and
        is lint-clean at error severity *)
     List.iter
@@ -600,7 +609,21 @@ let check_cmd =
                (List.map
                   (Format.asprintf "%a" Diagnostic.pp)
                   (Diagnostic.errors ls))
-           else Diagnostic.summary ls))
+           else Diagnostic.summary ls);
+        (* the source linter's tile-vs-cache predictions must agree with
+           the memories Lower actually instantiated for this config *)
+        let lowered_prog, cache_leftover =
+          match cfg with
+          | Experiments.Baseline -> (r.Tiling.fused, false)
+          | Experiments.Tiled | Experiments.Tiled_meta ->
+              (r.Tiling.tiled, true)
+        in
+        let xs = Ppl_lint.crosscheck ~cache_leftover lowered_prog d in
+        report
+          ("access classes: " ^ Experiments.config_name cfg)
+          (xs = [])
+          (String.concat "; "
+             (List.map (Format.asprintf "%a" Diagnostic.pp) xs)))
       [ Experiments.Baseline; Experiments.Tiled; Experiments.Tiled_meta ];
     (* 6. the two simulation engines agree on the final design *)
     let d = Experiments.design_of Experiments.Tiled_meta bench in
@@ -643,10 +666,12 @@ let check_cmd =
     (Cmd.info "check"
        ~doc:
          "Run every validator on a benchmark (or the suite, with benchmarks \
-          checked in parallel across OCaml domains): type checker on all \
-          tiling stages, interpreter equivalence against the source \
-          program, printer/parser roundtrip, static bounds, analytic/event \
-          engine agreement, and chip fit.")
+          checked in parallel across OCaml domains): source-level pattern \
+          lint (Ppl_lint, before tiling), type checker on all tiling \
+          stages, interpreter equivalence against the source program, \
+          printer/parser roundtrip, static bounds, access-classification \
+          cross-check against the lowered memories, analytic/event engine \
+          agreement, and chip fit.")
     Term.(const run $ bench_opt $ domains_arg)
 
 let lint_cmd =
@@ -710,6 +735,80 @@ let lint_cmd =
           performance hints.  Codes are cataloged in doc/LINTS.md.  Exits \
           non-zero iff any error-severity diagnostic is produced.")
     Term.(const run $ bench_opt $ config_arg $ json_flag)
+
+let lint_ir_cmd =
+  let target =
+    Arg.(
+      value
+      & pos 0 (some string) None
+      & info [] ~docv:"TARGET"
+          ~doc:
+            "Benchmark name or a .ppl source file; omitted = the whole \
+             suite.")
+  in
+  let json_flag =
+    Arg.(
+      value & flag
+      & info [ "json" ]
+          ~doc:
+            "Machine-readable output: a JSON array of per-program objects, \
+             each with the program name and its diagnostics.")
+  in
+  let run target json =
+    let progs =
+      match target with
+      | None ->
+          List.map
+            (fun (b : Suite.bench) -> (b.Suite.name, b.Suite.prog))
+            (benches ())
+      | Some t when Sys.file_exists t ->
+          let ic = open_in t in
+          let len = in_channel_length ic in
+          let text = really_input_string ic len in
+          close_in ic;
+          [ (Filename.basename t, Parser.program_of_string text) ]
+      | Some t -> (
+          match Suite.find (benches ()) t with
+          | b -> [ (b.Suite.name, b.Suite.prog) ]
+          | exception Not_found ->
+              Printf.eprintf "unknown benchmark or file %S\n" t;
+              exit 2)
+    in
+    let results =
+      List.map (fun (name, prog) -> (name, Ppl_lint.check_all prog)) progs
+    in
+    if json then
+      Printf.printf "[%s]\n"
+        (String.concat ", "
+           (List.map
+              (fun (name, ds) ->
+                Printf.sprintf
+                  "{\"program\": \"%s\", \"summary\": \"%s\", \
+                   \"diagnostics\": %s}"
+                  name
+                  (Diagnostic.summary ds)
+                  (Diagnostic.list_to_json ds))
+              results))
+    else
+      List.iter
+        (fun (name, ds) ->
+          Printf.printf "%s: %s\n" name (Diagnostic.summary ds);
+          Format.printf "%a" Diagnostic.pp_list ds)
+        results;
+    if List.exists (fun (_, ds) -> Diagnostic.has_errors ds) results then
+      exit 1
+  in
+  Cmd.v
+    (Cmd.info "lint-ir"
+       ~doc:
+         "Run the source-level pattern analyzer on a benchmark, a .ppl \
+          file, or the whole suite — before any tiling or lowering: \
+          MultiFold/Fold accumulator race detection via affine write-map \
+          injectivity, access-pattern classification (tile buffer vs \
+          cache/CAM service), strip-mining legality, hygiene, and static \
+          bounds.  Codes (PPL2xx) are cataloged in doc/LINTS.md.  Exits \
+          non-zero iff any error-severity diagnostic is produced.")
+    Term.(const run $ target $ json_flag)
 
 let fig7_cmd =
   let run domains trace metrics =
@@ -797,6 +896,6 @@ let () =
     (Cmd.eval ~argv
        (Cmd.group ~default info
           [ list_cmd; ir_cmd; design_cmd; maxj_cmd; dot_cmd; simulate_cmd;
-            timeline_cmd; verify_cmd; check_cmd; lint_cmd; traffic_cmd;
-            stats_cmd; bounds_cmd; compile_cmd; dse_cmd; export_cmd;
-            fig5c_cmd; fig7_cmd ]))
+            timeline_cmd; verify_cmd; check_cmd; lint_cmd; lint_ir_cmd;
+            traffic_cmd; stats_cmd; bounds_cmd; compile_cmd; dse_cmd;
+            export_cmd; fig5c_cmd; fig7_cmd ]))

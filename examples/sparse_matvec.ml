@@ -42,11 +42,11 @@ let () =
 
   (* 3. the bounds checker proves the affine accesses and says so about
      the data-dependent ones *)
-  let fs = Bounds.check_program r.Tiling.tiled in
+  let accesses, ds = Bounds.audit r.Tiling.tiled in
   Printf.printf "\nstatic bounds: %d accesses, %d unknown (data-dependent), %d violations\n"
-    (List.length fs)
-    (List.length (Bounds.unproven fs))
-    (List.length (Bounds.violations fs));
+    accesses
+    (List.length ds - List.length (Diagnostic.errors ds))
+    (List.length (Diagnostic.errors ds));
 
   (* 4. the generated hardware: rowptr tile buffers + a cache for x *)
   let d = Experiments.design_of Experiments.Tiled_meta

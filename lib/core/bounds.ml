@@ -1,9 +1,5 @@
 open Ir
 
-type verdict = Safe | Unknown of string | Violation of string
-
-type finding = { array : Sym.t; what : string; verdict : verdict }
-
 (* ------------------------------------------------------------------ *)
 (* Candidate interval analysis                                         *)
 (*                                                                     *)
@@ -17,6 +13,11 @@ type finding = { array : Sym.t; what : string; verdict : verdict }
 
 (* loop environment: innermost last *)
 type loop = { lsym : Sym.t; dom : dom; depth : int }
+
+type env = loop list
+
+let top = []
+let enter env s d = env @ [ { lsym = s; dom = d; depth = List.length env } ]
 
 let cap = 6
 let take_cap l = List.filteri (fun i _ -> i < cap) l
@@ -174,37 +175,44 @@ let prove_le loops e limit =
       then `Violated
       else `Unknown
 
-let prove_ge0 loops e =
+let prove_ge loops e k =
   match lb_cands e with
   | None -> `Unknown
   | Some cands ->
       let closed = List.concat_map (close ~upper:false loops) cands in
       let ok (a : Affine.t) =
-        a.Affine.const >= 0 && List.for_all (fun (_, c) -> c >= 0) a.Affine.terms
+        a.Affine.const >= k && List.for_all (fun (_, c) -> c >= 0) a.Affine.terms
       in
       if List.exists ok closed then `Proven
       else if
         List.for_all Affine.is_const closed && closed <> []
-        && List.for_all (fun (a : Affine.t) -> a.Affine.const < 0) closed
+        && List.for_all (fun (a : Affine.t) -> a.Affine.const < k) closed
       then `Violated
       else `Unknown
+
+let prove_ge0 loops e = prove_ge loops e 0
 
 (* ------------------------------------------------------------------ *)
 (* Obligation collection                                               *)
 (* ------------------------------------------------------------------ *)
 
-let combine_verdicts vs =
-  if List.exists (function `Violated -> true | _ -> false) vs then
-    Violation "index provably out of range"
-  else if List.exists (function `Unknown -> true | _ -> false) vs then
-    Unknown "not provable (data-dependent or non-affine index)"
-  else Safe
-
-let check_program (p : program) =
+let audit (p : program) =
   let shapes = List.map (fun i -> (i.iname, i.ishape)) p.inputs in
-  let findings = ref [] in
-  let emit array what verdict =
-    findings := { array; what; verdict } :: !findings
+  let diags = ref [] in
+  let checked = ref 0 in
+  let emit array what verdicts =
+    incr checked;
+    if List.exists (function `Violated -> true | _ -> false) verdicts then
+      diags :=
+        Diagnostic.make ~code:"PPL231" ~severity:Diagnostic.Error
+          ~where:(Sym.name array) "%s: index provably out of range" what
+        :: !diags
+    else if List.exists (function `Unknown -> true | _ -> false) verdicts then
+      diags :=
+        Diagnostic.make ~code:"PPL230" ~severity:Diagnostic.Warning
+          ~where:(Sym.name array)
+          "%s: not provable (data-dependent or non-affine index)" what
+        :: !diags
   in
   let rec walk loops depth e =
     let enter_dims dims idxs k =
@@ -234,7 +242,7 @@ let check_program (p : program) =
                  | _ -> [ `Unknown ])
                idxs shape)
         in
-        emit s (Pp.exp_to_string e) (combine_verdicts verdicts)
+        emit s (Pp.exp_to_string e) verdicts
     | Copy { csrc = Var s; cdims; _ }
       when List.exists (fun (k, _) -> Sym.equal k s) shapes ->
         let shape =
@@ -258,7 +266,7 @@ let check_program (p : program) =
                  | _ -> [ `Unknown ])
                cdims shape)
         in
-        emit s (Pp.exp_to_string e) (combine_verdicts verdicts)
+        emit s (Pp.exp_to_string e) verdicts
     | _ -> ());
     (* recurse with loop environments *)
     match e with
@@ -298,18 +306,6 @@ let check_program (p : program) =
              e)
   in
   walk [] 0 p.body;
-  List.rev !findings
+  (!checked, List.sort Diagnostic.compare (List.rev !diags))
 
-let violations fs =
-  List.filter (fun f -> match f.verdict with Violation _ -> true | _ -> false) fs
-
-let unproven fs =
-  List.filter (fun f -> match f.verdict with Unknown _ -> true | _ -> false) fs
-
-let pp_finding fmt f =
-  Format.fprintf fmt "%-12s %s: %s" (Sym.name f.array)
-    (match f.verdict with
-    | Safe -> "safe"
-    | Unknown m -> "unknown (" ^ m ^ ")"
-    | Violation m -> "VIOLATION (" ^ m ^ ")")
-    f.what
+let check_program p = snd (audit p)

@@ -11,25 +11,33 @@
       [outer*tile + inner <= total - 1];
     - [min(a, b)] is bounded above by each operand.
 
-    Accesses it cannot prove are reported as warnings (data-dependent
-    indices like k-means' [minDistIndex] are inherently unprovable here —
-    the hardware serves them through a cache; they are reported as
-    [`Unknown], not as violations). *)
+    Findings are {!Diagnostic.t} values on the shared rendering/JSON
+    path: [PPL231] (error) for accesses provably out of range for some
+    sizes, [PPL230] (warning) for accesses this analysis cannot decide
+    (data-dependent indices like k-means' [minDistIndex] are inherently
+    unprovable here — the hardware serves them through a cache).
+    Proven-safe accesses are silent. *)
 
-type verdict =
-  | Safe  (** proven in range for all size-parameter values *)
-  | Unknown of string  (** not provable by this analysis (e.g. data-dependent) *)
-  | Violation of string  (** provably out of range for some sizes *)
+type env
+(** Loop environment for the proving primitives: the pattern indices in
+    scope with their domains, outermost first. *)
 
-type finding = {
-  array : Sym.t;  (** the input accessed *)
-  what : string;  (** rendering of the access *)
-  verdict : verdict;
-}
+val top : env
+(** No indices in scope. *)
 
-val check_program : Ir.program -> finding list
-(** One finding per input read / tile copy in the program body. *)
+val enter : env -> Sym.t -> Ir.dom -> env
+(** [enter env s d] pushes index [s] ranging over domain [d]. *)
 
-val violations : finding list -> finding list
-val unproven : finding list -> finding list
-val pp_finding : Format.formatter -> finding -> unit
+val prove_ge :
+  env -> Ir.exp -> int -> [ `Proven | `Unknown | `Violated ]
+(** [prove_ge env e k]: is [e >= k] for all size-parameter values >= 0
+    and all in-range index values?  Used by {!Ppl_lint}'s PPL222 rule
+    (division/log/sqrt guards) as well as internally. *)
+
+val audit : Ir.program -> int * Diagnostic.t list
+(** [(accesses, diags)]: the number of input reads / tile copies
+    checked, and the diagnostics for those not proven safe ([PPL230]
+    warnings, [PPL231] errors), sorted with {!Diagnostic.compare}. *)
+
+val check_program : Ir.program -> Diagnostic.t list
+(** [snd (audit p)]. *)

@@ -20,10 +20,33 @@ let severity_name = function
 
 let severity_rank = function Error -> 0 | Warning -> 1 | Info -> 2
 
+(* Codes are an alphabetic family plus a number ("HW101", "PPL230");
+   plain string comparison would order "HW101" before "HW90" and make
+   mixed HW+PPL lists depend on zero padding, so split and compare the
+   numeric part as a number.  Codes that do not fit the pattern fall
+   back to string order after the well-formed ones. *)
+let split_code c =
+  let n = String.length c in
+  let rec alpha i =
+    if i < n && (c.[i] < '0' || c.[i] > '9') then alpha (i + 1) else i
+  in
+  let k = alpha 0 in
+  if k = n then (String.sub c 0 k, -1)
+  else
+    match int_of_string_opt (String.sub c k (n - k)) with
+    | Some num -> (String.sub c 0 k, num)
+    | None -> (c, -1)
+
+let compare_codes a b =
+  let pa, na = split_code a and pb, nb = split_code b in
+  match String.compare pa pb with
+  | 0 -> ( match Int.compare na nb with 0 -> String.compare a b | c -> c)
+  | c -> c
+
 let compare a b =
   match Int.compare (severity_rank a.severity) (severity_rank b.severity) with
   | 0 -> (
-      match String.compare a.code b.code with
+      match compare_codes a.code b.code with
       | 0 -> (
           match
             Stdlib.compare (a.path @ [ a.where ]) (b.path @ [ b.where ])

@@ -1,10 +1,12 @@
-(** Structured compiler diagnostics for the hardware back end.
+(** Structured compiler diagnostics.
 
-    Every design-level finding — whether from the structural validator
-    ({!Hw_check}) or the semantic linter ({!Hw_lint}) — is a value of
-    {!t}: a stable code (["HW101"]), a severity, the controller path
-    from the design root to the offending node, the memory or controller
-    the finding is about, and a human message.  Codes are documented in
+    Every analyzer finding — from the structural validator
+    ({!Hw_check}), the design linter ({!Hw_lint}), the source-level
+    pattern linter ({!Ppl_lint}) or the bounds checker ({!Bounds}) — is
+    a value of {!t}: a stable code (["HW101"], ["PPL201"]), a severity,
+    the path from the root to the offending node (controller path for
+    designs, pattern path for the IR), the memory/controller/array the
+    finding is about, and a human message.  Codes are documented in
     [doc/LINTS.md] and are part of the tool's interface: scripts may
     match on them, so existing codes keep their meaning across
     releases. *)
@@ -32,9 +34,16 @@ val make :
     printf-formatted message. *)
 
 val severity_name : severity -> string
+
+val compare_codes : string -> string -> int
+(** Numeric-aware code order: alphabetic family first ([HW] before
+    [PPL]), then the numeric part as a number — ["HW90"] sorts before
+    ["HW101"], which plain string comparison gets wrong. *)
+
 val compare : t -> t -> int
-(** Orders errors before warnings before infos, then by code, then by
-    location — the order renderers present lists in. *)
+(** Orders errors before warnings before infos, then by
+    {!compare_codes} on the code, then by location — the order
+    renderers present lists in. *)
 
 val errors : t list -> t list
 (** The error-severity subset. *)

@@ -1,34 +1,40 @@
 (* Static bounds verification: every tiled benchmark's tile copies are
    proven in range; deliberate violations are caught; data-dependent
-   accesses report unknown (and are exactly the cache-served ones). *)
+   accesses report unknown (and are exactly the cache-served ones).
+   Findings are Diagnostic values: PPL231 errors for violations, PPL230
+   warnings for accesses the analysis cannot decide; proven accesses
+   are silent. *)
 
 open Dsl
 
-let is_safe f = f.Bounds.verdict = Bounds.Safe
+let count code ds =
+  List.length (List.filter (fun d -> d.Diagnostic.code = code) ds)
+
+let violations ds = count "PPL231" ds
+let unknowns ds = count "PPL230" ds
 
 let test_tiled_suite_proven () =
   List.iter
     (fun bench ->
       let r = Tiling.run ~tiles:bench.Suite.tiles bench.Suite.prog in
-      let fs = Bounds.check_program r.Tiling.tiled in
+      let ds = Bounds.check_program r.Tiling.tiled in
       Alcotest.(check int)
         (bench.Suite.name ^ ": no violations")
-        0
-        (List.length (Bounds.violations fs));
+        0 (violations ds);
       (* everything except gda's data-dependent mu reads proves safe *)
       let expected_unknown = if bench.Suite.name = "gda" then 2 else 0 in
       Alcotest.(check int)
         (bench.Suite.name ^ ": unknowns")
-        expected_unknown
-        (List.length (Bounds.unproven fs)))
+        expected_unknown (unknowns ds))
     (Suite.all ())
 
 let test_untiled_reads_proven () =
-  (* direct reads at plain loop indices prove too *)
+  (* direct reads at plain loop indices prove too, silently *)
   let b = Suite.find (Suite.all ()) "gemm" in
-  let fs = Bounds.check_program b.Suite.prog in
-  Alcotest.(check bool) "all safe" true (List.for_all is_safe fs);
-  Alcotest.(check bool) "covers both inputs" true (List.length fs >= 2)
+  let accesses, ds = Bounds.audit b.Suite.prog in
+  Alcotest.(check (list string)) "all safe" []
+    (List.map (fun d -> d.Diagnostic.message) ds);
+  Alcotest.(check bool) "covers both inputs" true (accesses >= 2)
 
 let test_constant_violation_detected () =
   let n = size "n" in
@@ -37,8 +43,10 @@ let test_constant_violation_detected () =
     program ~name:"oob" ~sizes:[ n ] ~inputs:[ x ]
       (read (in_var x) [ i 7 ])
   in
-  let fs = Bounds.check_program prog in
-  Alcotest.(check int) "violation found" 1 (List.length (Bounds.violations fs))
+  let ds = Bounds.check_program prog in
+  Alcotest.(check int) "violation found" 1 (violations ds);
+  Alcotest.(check bool) "is an error diagnostic" true
+    (Diagnostic.has_errors ds)
 
 let test_negative_offset_detected () =
   let n = size "n" in
@@ -47,8 +55,8 @@ let test_negative_offset_detected () =
     program ~name:"neg" ~sizes:[ n ] ~inputs:[ x ]
       (read (in_var x) [ i (-1) ])
   in
-  let fs = Bounds.check_program prog in
-  Alcotest.(check int) "negative index" 1 (List.length (Bounds.violations fs))
+  let ds = Bounds.check_program prog in
+  Alcotest.(check int) "negative index" 1 (violations ds)
 
 let test_off_by_one_unproven () =
   (* reading x(i+1) over the full domain is out of range; with symbolic
@@ -59,23 +67,35 @@ let test_off_by_one_unproven () =
     program ~name:"ob1" ~sizes:[ n ] ~inputs:[ x ]
       (map1 (dfull (Ir.Var n)) (fun idx -> read (in_var x) [ idx +! i 1 ]))
   in
-  let fs = Bounds.check_program prog in
-  Alcotest.(check bool) "not proven safe" true
-    (not (List.for_all is_safe fs))
+  let ds = Bounds.check_program prog in
+  Alcotest.(check bool) "not proven safe" true (ds <> [])
 
 let test_halo_proven () =
   (* convolution reads x(i + w) with x declared n + taps - 1 long: the
      halo makes it safe, and the checker sees that *)
   let t = Conv2d.make () in
-  let fs = Bounds.check_program t.Conv2d.prog in
-  Alcotest.(check bool) "conv2d safe" true (List.for_all is_safe fs);
+  let ds = Bounds.check_program t.Conv2d.prog in
+  Alcotest.(check int) "conv2d safe" 0 (List.length ds);
   (* and the tiled version *)
   let r =
     Tiling.run ~tiles:[ (t.Conv2d.h, 16); (t.Conv2d.w, 16) ] t.Conv2d.prog
   in
-  let fs' = Bounds.check_program r.Tiling.tiled in
-  Alcotest.(check int) "tiled conv2d: no violations" 0
-    (List.length (Bounds.violations fs'))
+  let ds' = Bounds.check_program r.Tiling.tiled in
+  Alcotest.(check int) "tiled conv2d: no violations" 0 (violations ds')
+
+let test_prove_ge () =
+  (* the proving primitive Ppl_lint's PPL222 rule builds on *)
+  let n = size "n" in
+  let env = Bounds.enter Bounds.top n (Ir.Dfull (Ir.Ci 8)) in
+  Alcotest.(check bool) "constant >= 1" true
+    (Bounds.prove_ge Bounds.top (Ir.Ci 3) 1 = `Proven);
+  Alcotest.(check bool) "constant < 1 violated" true
+    (Bounds.prove_ge Bounds.top (Ir.Ci 0) 1 = `Violated);
+  Alcotest.(check bool) "index + 1 >= 1" true
+    (Bounds.prove_ge env (Ir.Prim (Ir.Add, [ Ir.Var n; Ir.Ci 1 ])) 1
+    = `Proven);
+  Alcotest.(check bool) "symbolic size not provably >= 1" true
+    (Bounds.prove_ge Bounds.top (Ir.Var n) 1 = `Unknown)
 
 let () =
   Alcotest.run "bounds"
@@ -89,4 +109,5 @@ let () =
             test_negative_offset_detected;
           Alcotest.test_case "off-by-one unproven" `Quick
             test_off_by_one_unproven;
-          Alcotest.test_case "halo proven" `Quick test_halo_proven ] ) ]
+          Alcotest.test_case "halo proven" `Quick test_halo_proven;
+          Alcotest.test_case "prove_ge primitive" `Quick test_prove_ge ] ) ]
