@@ -78,14 +78,20 @@ let metrics_flag =
     value & flag
     & info [ "metrics" ]
         ~doc:
-          "Print the metrics registry (pass timers, simulator cache \
-           hit/miss counters, pool task counts, ...) after the run.")
+          "Print the metrics recorded by this invocation (pass timers, \
+           simulator cache hit/miss counters, pool task counts, ...) \
+           after the run.  The registry is process-global; the report is \
+           the delta against a snapshot taken at command entry.")
 
 (* Run a command body under the observability flags: tracing is enabled
    for the duration when --trace FILE is given (the JSON is written and a
    summary goes to stderr afterwards, even if the body raises), and the
-   metrics registry is printed when --metrics is. *)
+   metrics recorded by this invocation are printed when --metrics is.
+   The metrics registry is process-global and survives across in-process
+   runs, so the report is a delta against the snapshot taken here — not
+   lifetime totals. *)
 let obs_wrap trace metrics f =
+  let metrics_base = if metrics then Metrics.snapshot () else [] in
   (match trace with
   | Some _ ->
       Trace.clear ();
@@ -100,7 +106,9 @@ let obs_wrap trace metrics f =
           Printf.eprintf "trace: wrote %s (open in https://ui.perfetto.dev)\n"
             file
       | None -> ());
-      if metrics then Format.printf "%a" Metrics.pp ())
+      if metrics then
+        Format.printf "%a" Metrics.pp_values
+          (Metrics.diff ~base:metrics_base (Metrics.snapshot ())))
 
 let warn_fallbacks ctx (r : Event_sim.result) =
   if r.Event_sim.fallbacks > 0 then
@@ -123,6 +131,29 @@ let observe_cache cache =
   Metrics.incr ~by:st.Simulate.misses "sim.cache.misses";
   Metrics.set_gauge "sim.cache.nodes"
     (float_of_int (Simulate.cache_nodes cache))
+
+(* Machine-readable simulation report, shared by `simulate --json` and
+   `timeline --json`.  Numbers use Profile.json_float, so totals compare
+   byte-for-byte with `profile --json`. *)
+let report_json ~bench ~config ~engine (rep : Simulate.report) area =
+  let f = Profile.json_float in
+  let traffic t =
+    String.concat ", "
+      (List.map (fun (k, v) -> Printf.sprintf "\"%s\": %s" k (f v)) t)
+  in
+  Printf.sprintf
+    "{\"bench\": \"%s\", \"config\": \"%s\", \"engine\": \"%s\", \"cycles\": \
+     %s, \"dram_cycles\": %s, \"reads\": {%s}, \"writes\": {%s}, \"area\": \
+     {\"logic\": %s, \"ff\": %s, \"bram\": %s, \"dsp\": %s}, \"time_ms\": \
+     %.6f}\n"
+    bench config engine
+    (f rep.Simulate.cycles)
+    (f rep.Simulate.dram_cycles)
+    (traffic rep.Simulate.reads)
+    (traffic rep.Simulate.writes)
+    (f area.Area_model.logic) (f area.Area_model.ff) (f area.Area_model.bram)
+    (f area.Area_model.dsp)
+    (1e3 *. Machine.seconds Machine.default rep.Simulate.cycles)
 
 let tiling_of bench = Tiling.run ~tiles:bench.Suite.tiles bench.Suite.prog
 
@@ -211,8 +242,17 @@ let bottlenecks_flag =
            whether compute or DRAM sets the steady state (the analysis \
            behind the gda rebalancing).")
 
+let json_flag =
+  Arg.(
+    value & flag
+    & info [ "json" ]
+        ~doc:
+          "Machine-readable output: one JSON object with cycles, DRAM \
+           traffic and area (numbers formatted as in $(b,profile --json), \
+           so totals compare byte-for-byte).")
+
 let simulate_cmd =
-  let run bench config engine breakdown bottlenecks trace metrics =
+  let run bench config engine breakdown bottlenecks json trace metrics =
     obs_wrap trace metrics @@ fun () ->
     let d = Experiments.design_of config bench in
     (* one memo cache serves the report, the breakdown and the
@@ -233,27 +273,40 @@ let simulate_cmd =
             Event_sim.run ~record:(trace <> None) d
               ~sizes:bench.Suite.sim_sizes
           in
-          Printf.printf "(event engine: %d controller instances, %d fallbacks)\n"
-            r.Event_sim.events r.Event_sim.fallbacks;
+          if not json then
+            Printf.printf
+              "(event engine: %d controller instances, %d fallbacks)\n"
+              r.Event_sim.events r.Event_sim.fallbacks;
           observe_event_run bench.Suite.name trace r;
           r.Event_sim.report
     in
-    Printf.printf "%s / %s\n" bench.Suite.name (Experiments.config_name config);
-    Format.printf "%a" Simulate.pp_report rep;
     let a = Area_model.of_design d in
-    Format.printf "area: %a@." Area_model.pp a;
-    Format.printf "utilization (Stratix V): %a%s@." Area_model.pp_utilization a
-      (if Area_model.fits a then "" else "  ** EXCEEDS CHIP **");
-    Printf.printf "time at %.0f MHz: %.3f ms\n" Machine.default.Machine.clock_mhz
-      (1e3 *. Machine.seconds Machine.default rep.Simulate.cycles);
-    if breakdown then
-      Format.printf "%a"
-        Simulate.pp_breakdown
-        (Simulate.breakdown ~cache d ~sizes:bench.Suite.sim_sizes);
-    if bottlenecks then
-      Format.printf "%a"
-        Simulate.pp_bottlenecks
-        (Simulate.bottlenecks ~cache d ~sizes:bench.Suite.sim_sizes);
+    if json then
+      print_string
+        (report_json ~bench:bench.Suite.name
+           ~config:(Experiments.config_name config)
+           ~engine:(match engine with `Analytic -> "analytic" | `Event -> "event")
+           rep a)
+    else begin
+      Printf.printf "%s / %s\n" bench.Suite.name
+        (Experiments.config_name config);
+      Format.printf "%a" Simulate.pp_report rep;
+      Format.printf "area: %a@." Area_model.pp a;
+      Format.printf "utilization (Stratix V): %a%s@." Area_model.pp_utilization
+        a
+        (if Area_model.fits a then "" else "  ** EXCEEDS CHIP **");
+      Printf.printf "time at %.0f MHz: %.3f ms\n"
+        Machine.default.Machine.clock_mhz
+        (1e3 *. Machine.seconds Machine.default rep.Simulate.cycles);
+      if breakdown then
+        Format.printf "%a"
+          Simulate.pp_breakdown
+          (Simulate.breakdown ~cache d ~sizes:bench.Suite.sim_sizes);
+      if bottlenecks then
+        Format.printf "%a"
+          Simulate.pp_bottlenecks
+          (Simulate.bottlenecks ~cache d ~sizes:bench.Suite.sim_sizes)
+    end;
     observe_cache cache
   in
   Cmd.v
@@ -261,7 +314,7 @@ let simulate_cmd =
        ~doc:"Simulate a benchmark's design: cycles, DRAM traffic, area.")
     Term.(
       const run $ bench_arg $ config_arg $ engine_arg $ breakdown_flag
-      $ bottlenecks_flag $ trace_arg $ metrics_flag)
+      $ bottlenecks_flag $ json_flag $ trace_arg $ metrics_flag)
 
 let verify_cmd =
   let run bench =
@@ -335,12 +388,45 @@ let dse_cmd =
             "Also sweep these parallelism factors jointly with the tile \
              sizes (default: the single default factor).")
   in
-  let run bench budget pars domains trace metrics =
+  let profile_flag =
+    Arg.(
+      value & flag
+      & info [ "profile" ]
+          ~doc:
+            "After the sweep, rebuild the selected design and print its \
+             top-3 cycle sinks by source pattern — what to optimize next \
+             at the chosen tile sizes.")
+  in
+  let run bench budget pars domains profile trace metrics =
     obs_wrap trace metrics @@ fun () ->
     Printf.printf
       "tile-size exploration for %s (budget %.0f M20K, sizes at sim scale)\n\n"
       bench.Suite.name budget;
-    Dse.print_result (Dse.explore_bench ?domains ~bram_budget:budget ~pars bench)
+    let res = Dse.explore_bench ?domains ~bram_budget:budget ~pars bench in
+    Dse.print_result res;
+    if profile then
+      match res.Dse.best with
+      | None -> print_endline "\nprofile: no feasible point to profile"
+      | Some best ->
+          let r = Tiling.run ~tiles:best.Dse.tiles bench.Suite.prog in
+          let d =
+            Lower.program
+              { Lower.default_opts with Lower.par = best.Dse.par }
+              r.Tiling.tiled
+          in
+          let p = Profile.of_design d ~sizes:bench.Suite.sim_sizes in
+          Printf.printf "\ntop cycle sinks for the selected tile (%s, par %d)\n"
+            (String.concat ", "
+               (List.map
+                  (fun (s, b) -> Printf.sprintf "%s=%d" (Sym.base s) b)
+                  best.Dse.tiles))
+            best.Dse.par;
+          List.iter
+            (fun (o : Profile.origin_row) ->
+              Printf.printf "  %-36s %14.0f cycles  %5.1f%%\n" o.Profile.origin
+                o.Profile.o_cycles
+                (100.0 *. o.Profile.o_share))
+            (Profile.top_sinks p 3)
   in
   Cmd.v
     (Cmd.info "dse"
@@ -350,8 +436,8 @@ let dse_cmd =
           parallel across OCaml domains, model cycles and area, pick the \
           fastest design that fits the memory budget and the chip.")
     Term.(
-      const run $ bench_arg $ budget $ pars_arg $ domains_arg $ trace_arg
-      $ metrics_flag)
+      const run $ bench_arg $ budget $ pars_arg $ domains_arg $ profile_flag
+      $ trace_arg $ metrics_flag)
 
 let compile_cmd =
   let file =
@@ -516,9 +602,17 @@ let check_cmd =
       & info [] ~docv:"BENCH"
           ~doc:"Benchmark to check; omitted = the whole suite.")
   in
+  let profile_flag =
+    Arg.(
+      value & flag
+      & info [ "profile" ]
+          ~doc:
+            "After the checks, print each benchmark's top-3 cycle sinks \
+             by source pattern (meta configuration, simulation sizes).")
+  in
   (* each bench's checks print into its own buffer, so the whole suite
      can run benches on parallel domains and still report in order *)
-  let check_bench buf (bench : Suite.bench) =
+  let check_bench ~profile buf (bench : Suite.bench) =
     let failures = ref 0 in
     let pr fmt = Printf.ksprintf (Buffer.add_string buf) fmt in
     let report name ok detail =
@@ -636,9 +730,19 @@ let check_cmd =
     (* 7. the design fits the chip *)
     let area = Area_model.of_design d in
     report "fits Stratix V" (Area_model.fits area) "";
+    if profile then begin
+      let p = Profile.of_design d ~sizes:bench.Suite.sim_sizes in
+      pr "  top cycle sinks (meta):\n";
+      List.iter
+        (fun (o : Profile.origin_row) ->
+          pr "    %-36s %14.0f cycles  %5.1f%%\n" o.Profile.origin
+            o.Profile.o_cycles
+            (100.0 *. o.Profile.o_share))
+        (Profile.top_sinks p 3)
+    end;
     !failures
   in
-  let run bench_opt domains =
+  let run bench_opt domains profile =
     let targets =
       match bench_opt with Some b -> [ b ] | None -> benches ()
     in
@@ -646,7 +750,7 @@ let check_cmd =
       Pool.map ?domains
         (fun b ->
           let buf = Buffer.create 1024 in
-          let n = check_bench buf b in
+          let n = check_bench ~profile buf b in
           (Buffer.contents buf, n))
         targets
     in
@@ -672,7 +776,7 @@ let check_cmd =
           printer/parser roundtrip, static bounds, access-classification \
           cross-check against the lowered memories, analytic/event engine \
           agreement, and chip fit.")
-    Term.(const run $ bench_opt $ domains_arg)
+    Term.(const run $ bench_opt $ domains_arg $ profile_flag)
 
 let lint_cmd =
   let bench_opt =
@@ -831,7 +935,7 @@ let timeline_cmd =
       & info [ "o"; "output" ] ~docv:"FILE"
           ~doc:"Write the trace JSON to $(docv) instead of stdout.")
   in
-  let run bench config out =
+  let run bench config out json =
     (* compile before enabling the collector: the emitted JSON then holds
        only virtual-clock events and is bit-deterministic *)
     let d = Experiments.design_of config bench in
@@ -841,15 +945,23 @@ let timeline_cmd =
     warn_fallbacks bench.Suite.name r;
     Option.iter Sim_trace.record r.Event_sim.timeline;
     Trace.disable ();
-    let json = Trace.to_json () in
+    let trace_json = Trace.to_json () in
     (match out with
     | Some file ->
         let oc = open_out file in
-        output_string oc json;
+        output_string oc trace_json;
         close_out oc;
         Printf.eprintf "timeline: wrote %s (open in https://ui.perfetto.dev)\n"
           file
-    | None -> print_string json);
+    | None -> if not json then print_string trace_json);
+    if json then
+      (* --json parity with `simulate`: the same report object on stdout
+         (write the trace itself with -o FILE) *)
+      print_string
+        (report_json ~bench:bench.Suite.name
+           ~config:(Experiments.config_name config)
+           ~engine:"event" r.Event_sim.report
+           (Area_model.of_design d));
     prerr_string (Trace.summary ())
   in
   Cmd.v
@@ -860,8 +972,121 @@ let timeline_cmd =
           controller, plus the DRAM-busy track) as Chrome/Perfetto \
           trace-event JSON on stdout; a per-track utilization summary \
           goes to stderr.  The output is deterministic: bit-identical \
-          across runs.")
-    Term.(const run $ bench_arg $ config_arg $ out_arg)
+          across runs.  An unknown benchmark name is a clean usage error \
+          (non-zero exit).  With $(b,--json) stdout instead carries the \
+          same machine-readable report object as $(b,simulate --json) \
+          (pass $(b,-o) to still write the trace).")
+    Term.(const run $ bench_arg $ config_arg $ out_arg $ json_flag)
+
+let profile_cmd =
+  let target =
+    Arg.(
+      required
+      & pos 0 (some string) None
+      & info [] ~docv:"TARGET"
+          ~doc:"Benchmark name or a .ppl source file.")
+  in
+  let tiles_arg =
+    Arg.(
+      value & opt (list (pair ~sep:'=' string int)) []
+      & info [ "tiles" ] ~docv:"NAME=SIZE,..."
+          ~doc:"Tile configuration by size-parameter base name (.ppl targets).")
+  in
+  let sizes_arg =
+    Arg.(
+      value & opt (list (pair ~sep:'=' string int)) []
+      & info [ "sizes" ] ~docv:"NAME=N,..."
+          ~doc:
+            "Concrete size-parameter values to profile at (required for \
+             .ppl targets; benchmarks default to their simulation sizes).")
+  in
+  let profile_json_flag =
+    Arg.(
+      value & flag
+      & info [ "json" ]
+          ~doc:
+            "Machine-readable output: the full attribution tree and \
+             per-origin table as one JSON object.")
+  in
+  let folded_arg =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "folded" ] ~docv:"FILE"
+          ~doc:
+            "Also write folded flamegraph stacks (one \
+             $(i,frame;frame;... weight) line per provenance trail, \
+             weight = self cycles) to $(docv); feed to flamegraph.pl or \
+             speedscope.")
+  in
+  let run target config tiles_spec sizes_spec json folded trace metrics =
+    obs_wrap trace metrics @@ fun () ->
+    let design, sizes =
+      if Sys.file_exists target then begin
+        let ic = open_in target in
+        let len = in_channel_length ic in
+        let text = really_input_string ic len in
+        close_in ic;
+        let prog = Parser.program_of_string text in
+        ignore (Validate.check_program prog);
+        let resolve spec =
+          List.filter_map
+            (fun (name, v) ->
+              match
+                List.find_opt
+                  (fun s -> Sym.base s = name)
+                  prog.Ir.size_params
+              with
+              | Some s -> Some (s, v)
+              | None ->
+                  Printf.eprintf "warning: no size parameter %s\n" name;
+                  None)
+            spec
+        in
+        let sizes = resolve sizes_spec in
+        if sizes = [] then begin
+          Printf.eprintf
+            "profile: %s: --sizes NAME=N,... is required for .ppl targets\n"
+            target;
+          exit 2
+        end;
+        let r = Tiling.run ~tiles:(resolve tiles_spec) prog in
+        (Lower.program Lower.default_opts r.Tiling.tiled, sizes)
+      end
+      else
+        match Suite.find (benches ()) target with
+        | b -> (Experiments.design_of config b, b.Suite.sim_sizes)
+        | exception Not_found ->
+            Printf.eprintf "unknown benchmark or file %S (try: %s)\n" target
+              (String.concat ", "
+                 (List.map (fun b -> b.Suite.name) (benches ())));
+            exit 2
+    in
+    let p = Profile.of_design design ~sizes in
+    (match folded with
+    | Some file ->
+        let oc = open_out file in
+        output_string oc (Profile.to_folded p);
+        close_out oc;
+        Printf.eprintf
+          "profile: wrote %s (render with flamegraph.pl or speedscope)\n" file
+    | None -> ());
+    if json then print_string (Profile.to_json p)
+    else Format.printf "%a" Profile.pp_text p
+  in
+  Cmd.v
+    (Cmd.info "profile"
+       ~doc:
+         "Attribute simulated cycles (split into fill, steady-state and \
+          DRAM-serialized time), DRAM traffic and modeled area back to \
+          the source patterns they came from, via the provenance stamped \
+          on every controller and memory.  Attribution is complete: the \
+          tree's cycles sum exactly to the $(b,simulate) total.  Output \
+          backends: aligned text, $(b,--json), and $(b,--folded) \
+          flamegraph stacks.")
+    Term.(
+      const run $ target $ config_arg $ tiles_arg $ sizes_arg
+      $ profile_json_flag $ folded_arg $ trace_arg $ metrics_flag)
 
 let default =
   Term.(ret (const (`Help (`Pager, None))))
@@ -896,6 +1121,6 @@ let () =
     (Cmd.eval ~argv
        (Cmd.group ~default info
           [ list_cmd; ir_cmd; design_cmd; maxj_cmd; dot_cmd; simulate_cmd;
-            timeline_cmd; verify_cmd; check_cmd; lint_cmd; lint_ir_cmd;
-            traffic_cmd; stats_cmd; bounds_cmd; compile_cmd; dse_cmd;
-            export_cmd; fig5c_cmd; fig7_cmd ]))
+            profile_cmd; timeline_cmd; verify_cmd; check_cmd; lint_cmd;
+            lint_ir_cmd; traffic_cmd; stats_cmd; bounds_cmd; compile_cmd;
+            dse_cmd; export_cmd; fig5c_cmd; fig7_cmd ]))

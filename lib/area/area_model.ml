@@ -85,26 +85,28 @@ let pipe_cost ~template ~par ~depth (ops : Hw.op_counts) =
 let ctrl_overhead = { logic = 150.0; ff = 220.0; bram = 0.0; dsp = 0.0 }
 let meta_stage_overhead = { logic = 110.0; ff = 160.0; bram = 0.0; dsp = 0.0 }
 
+(* area charged to one controller node, excluding its children (the
+   per-node view the attribution profiler aggregates by provenance) *)
+let ctrl_cost = function
+  | Hw.Seq _ | Hw.Par _ -> ctrl_overhead
+  | Hw.Loop { meta; stages; _ } ->
+      if meta then
+        add ctrl_overhead
+          (scale (float_of_int (List.length stages)) meta_stage_overhead)
+      else ctrl_overhead
+  | Hw.Pipe { template; par; depth; ops; dram; _ } ->
+      (* each direct DRAM stream instantiates its own access unit *)
+      add
+        (pipe_cost ~template ~par ~depth ops)
+        (scale (float_of_int (List.length dram)) load_store_unit)
+  | Hw.Tile_load _ | Hw.Tile_store _ -> load_store_unit
+
 let of_design (d : Hw.design) =
   let mems =
     List.fold_left (fun acc m -> add acc (mem_cost m)) platform_overhead
       d.Hw.mems
   in
-  Hw.fold_ctrls
-    (fun acc c ->
-      match c with
-      | Hw.Seq _ | Hw.Par _ -> add acc ctrl_overhead
-      | Hw.Loop { meta; stages; _ } ->
-          let base = add acc ctrl_overhead in
-          if meta then
-            add base (scale (float_of_int (List.length stages)) meta_stage_overhead)
-          else base
-      | Hw.Pipe { template; par; depth; ops; dram; _ } ->
-          let base = add acc (pipe_cost ~template ~par ~depth ops) in
-          (* each direct DRAM stream instantiates its own access unit *)
-          add base (scale (float_of_int (List.length dram)) load_store_unit)
-      | Hw.Tile_load _ | Hw.Tile_store _ -> add acc load_store_unit)
-    mems d.Hw.top
+  Hw.fold_ctrls (fun acc c -> add acc (ctrl_cost c)) mems d.Hw.top
 
 let ratio a b =
   let div x y = if y = 0.0 then 1.0 else x /. y in

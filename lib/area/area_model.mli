@@ -29,6 +29,18 @@ val zero : t
 val add : t -> t -> t
 val of_design : Hw.design -> t
 
+val ctrl_cost : Hw.ctrl -> t
+(** Area charged to one controller node, excluding its children.
+    Summing [ctrl_cost] over the tree plus {!mem_cost} over the memories
+    and the platform overhead reproduces {!of_design}. *)
+
+val mem_cost : Hw.mem -> t
+(** Area of one on-chip memory instance. *)
+
+val platform_overhead : t
+(** Fixed infrastructure present in every bitstream (DRAM controllers,
+    host interface) — charged to no source pattern. *)
+
 val ratio : t -> t -> t
 (** [ratio a b] divides componentwise ([a]/[b]), for Fig. 7's
     relative-resource bars. *)

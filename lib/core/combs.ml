@@ -17,7 +17,7 @@ let count p e =
 
 let elementwise { ca; cb; cbody } =
   match cbody with
-  | Map { mdims = _; midxs; mbody } ->
+  | Map { mdims = _; midxs; mbody; mprov; _ } ->
       let exact_idxs idxs =
         List.length idxs = List.length midxs
         && List.for_all2
@@ -48,6 +48,9 @@ let elementwise { ca; cb; cbody } =
             Map
               { mdims = List.map (fun e -> Dfull e) extents;
                 midxs = nidxs;
-                mbody = Ir.rename_binders (Ir.subst env mbody) })
+                mbody = Ir.rename_binders (Ir.subst env mbody);
+                (* an instantiated combiner is the combiner map applied:
+                   it keeps the source combiner's provenance *)
+                mprov })
       else None
   | _ -> None

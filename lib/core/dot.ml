@@ -25,14 +25,14 @@ let emit (d : Hw.design) =
   let rec go indent c =
     let pad = String.make indent ' ' in
     match c with
-    | Hw.Seq { name; children } | Hw.Par { name; children } ->
+    | Hw.Seq { name; children; _ } | Hw.Par { name; children; _ } ->
         incr counter;
         line "%ssubgraph cluster_%d {" pad !counter;
         line "%s  label=\"%s (%s)\"; style=dashed;" pad (esc name)
           (match c with Hw.Par _ -> "parallel" | _ -> "sequential");
         List.iter (go (indent + 2)) children;
         line "%s}" pad
-    | Hw.Loop { name; meta; stages; trips } ->
+    | Hw.Loop { name; meta; stages; trips; _ } ->
         incr counter;
         line "%ssubgraph cluster_%d {" pad !counter;
         line "%s  label=\"%s (%s, trips=%s)\"; style=%s; color=%s;" pad

@@ -77,7 +77,8 @@ let horizontal_rule e =
         Map
           { mdims = mx.mdims;
             midxs = mx.midxs;
-            mbody = Tup [ mx.mbody; Ir.rename_binders (Ir.subst sigma my.mbody) ] }
+            mbody = Tup [ mx.mbody; Ir.rename_binders (Ir.subst sigma my.mbody) ];
+            mprov = Prov.push mx.mprov "fusion.horizontal" }
       in
       let rec rewrite e =
         match e with
@@ -140,14 +141,15 @@ let filter_rule e =
   match e with
   | Let
       ( x,
-        FlatMap { fmdim; fmidx; fmbody },
+        FlatMap { fmdim; fmidx; fmbody; fmprov },
         Fold
           { fdims = [ Dfull (Len (Var x', 0)) ];
             fidxs = [ j ];
             finit;
             facc;
             fupd;
-            fcomb } )
+            fcomb;
+            fprov = _ } )
     when Sym.equal x x'
          (* every read of x in the fold body is at the fold index *)
          && count_reads x fupd > 0 ->
@@ -178,7 +180,8 @@ let filter_rule e =
                 finit;
                 facc = facc';
                 fupd = stepped;
-                fcomb }
+                fcomb;
+                fprov = Prov.push fmprov "fusion.filter" }
         | _ -> e
       end
   | e -> e

@@ -8,6 +8,7 @@ type mem = {
   banks : int;
   mutable readers : int;
   mutable writers : int;
+  mem_prov : Prov.t;
 }
 
 type trip =
@@ -94,9 +95,15 @@ type op_counts = {
 }
 
 type ctrl =
-  | Seq of { name : string; children : ctrl list }
-  | Par of { name : string; children : ctrl list }
-  | Loop of { name : string; trips : trip list; meta : bool; stages : ctrl list }
+  | Seq of { name : string; children : ctrl list; prov : Prov.t }
+  | Par of { name : string; children : ctrl list; prov : Prov.t }
+  | Loop of {
+      name : string;
+      trips : trip list;
+      meta : bool;
+      stages : ctrl list;
+      prov : Prov.t;
+    }
   | Pipe of {
       name : string;
       trips : trip list;
@@ -109,6 +116,7 @@ type ctrl =
       dram : dram_access list;
       uses : string list;
       defines : string list;
+      prov : Prov.t;
     }
   | Tile_load of {
       name : string;
@@ -117,6 +125,7 @@ type ctrl =
       words : trip;
       path : (trip * bool) list;
       reuse : int;
+      prov : Prov.t;
     }
   | Tile_store of {
       name : string;
@@ -124,6 +133,7 @@ type ctrl =
       array : string;
       words : trip;
       path : (trip * bool) list;
+      prov : Prov.t;
     }
 
 type design = {
@@ -157,6 +167,20 @@ let iter_ctrls_path f c =
 let rec fold_ctrls f acc c =
   let acc = f acc c in
   List.fold_left (fold_ctrls f) acc (children c)
+
+let ctrl_prov = function
+  | Seq { prov; _ } | Par { prov; _ } | Loop { prov; _ } | Pipe { prov; _ }
+  | Tile_load { prov; _ } | Tile_store { prov; _ } ->
+      prov
+
+let with_prov c prov =
+  match c with
+  | Seq r -> Seq { r with prov }
+  | Par r -> Par { r with prov }
+  | Loop r -> Loop { r with prov }
+  | Pipe r -> Pipe { r with prov }
+  | Tile_load r -> Tile_load { r with prov }
+  | Tile_store r -> Tile_store { r with prov }
 
 let find_mem d name =
   match List.find_opt (fun m -> m.mem_name = name) d.mems with

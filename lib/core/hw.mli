@@ -26,6 +26,7 @@ type mem = {
   banks : int;  (** banking factor for parallel access *)
   mutable readers : int;
   mutable writers : int;
+  mem_prov : Prov.t;  (** source pattern the buffer serves; metadata only *)
 }
 
 (** {1 Iteration counts}
@@ -91,11 +92,17 @@ type op_counts = {
 }
 
 type ctrl =
-  | Seq of { name : string; children : ctrl list }
+  | Seq of { name : string; children : ctrl list; prov : Prov.t }
       (** sequential controller: children run one after another *)
-  | Par of { name : string; children : ctrl list }
+  | Par of { name : string; children : ctrl list; prov : Prov.t }
       (** task-parallel controller: children run simultaneously *)
-  | Loop of { name : string; trips : trip list; meta : bool; stages : ctrl list }
+  | Loop of {
+      name : string;
+      trips : trip list;
+      meta : bool;
+      stages : ctrl list;
+      prov : Prov.t;
+    }
       (** loop controller over an iteration domain; [meta] selects the
           metapipeline schedule (stages overlap across iterations through
           double buffers) versus plain sequential iteration *)
@@ -111,6 +118,7 @@ type ctrl =
       dram : dram_access list;  (** direct main-memory traffic *)
       uses : string list;  (** on-chip memories read *)
       defines : string list;  (** on-chip memories written *)
+      prov : Prov.t;
     }
   | Tile_load of {
       name : string;
@@ -119,6 +127,7 @@ type ctrl =
       words : trip;  (** words moved per invocation *)
       path : (trip * bool) list;  (** enclosing loops (for traffic totals) *)
       reuse : int;  (** overlap reuse factor: words / reuse hit DRAM *)
+      prov : Prov.t;
     }
   | Tile_store of {
       name : string;
@@ -126,6 +135,7 @@ type ctrl =
       array : string;  (** destination DRAM array *)
       words : trip;
       path : (trip * bool) list;
+      prov : Prov.t;
     }
 
 type design = {
@@ -136,6 +146,13 @@ type design = {
 }
 
 val ctrl_name : ctrl -> string
+
+val ctrl_prov : ctrl -> Prov.t
+(** Provenance carried by any controller node (metadata, never semantics). *)
+
+val with_prov : ctrl -> Prov.t -> ctrl
+(** Rebuild a controller with new provenance, leaving everything else. *)
+
 val iter_ctrls : (ctrl -> unit) -> ctrl -> unit
 (** Pre-order visit of the controller tree. *)
 

@@ -114,7 +114,7 @@ let check (d : Hw.design) =
       | Hw.Loop { name; trips; stages; _ } ->
           if trips = [] then bad ~code:"HW012" ~path name "loop with no trips";
           if stages = [] then bad ~code:"HW012" ~path name "loop with no stages"
-      | Hw.Seq { name; children } | Hw.Par { name; children } ->
+      | Hw.Seq { name; children; _ } | Hw.Par { name; children; _ } ->
           if children = [] then
             bad ~code:"HW013" ~path name "controller with no children"
       | Hw.Tile_load _ | Hw.Tile_store _ -> ())

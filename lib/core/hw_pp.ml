@@ -23,13 +23,13 @@ let pp_trips fmt trips =
 let rec pp_ctrl indent fmt c =
   let pad = String.make indent ' ' in
   match c with
-  | Hw.Seq { name; children } ->
+  | Hw.Seq { name; children; _ } ->
       Format.fprintf fmt "%sSequential %s@." pad name;
       List.iter (pp_ctrl (indent + 2) fmt) children
-  | Hw.Par { name; children } ->
+  | Hw.Par { name; children; _ } ->
       Format.fprintf fmt "%sParallel %s@." pad name;
       List.iter (pp_ctrl (indent + 2) fmt) children
-  | Hw.Loop { name; trips; meta; stages } ->
+  | Hw.Loop { name; trips; meta; stages; _ } ->
       Format.fprintf fmt "%s%s %s %a@." pad
         (if meta then "Metapipeline" else "Loop")
         name pp_trips trips;

@@ -28,9 +28,11 @@ let unstrided doms = List.for_all (fun d -> not (is_strided d)) doms
 (* Map{U}{ Fold{d/b}{...} }  ==>  Fold{d/b}{ Map{U}{...} }
    The fold accumulator becomes an array over U; init, update and combine
    are lifted elementwise. *)
-let try_rule1 ctx { mdims; midxs; mbody } =
+let try_rule1 ctx { mdims; midxs; mbody; mprov } =
   match mbody with
-  | Fold { fdims = [ (Dtiles _ as sd) ]; fidxs = [ kk ]; finit; facc; fupd; fcomb }
+  | Fold
+      { fdims = [ (Dtiles _ as sd) ]; fidxs = [ kk ]; finit; facc; fupd; fcomb;
+        fprov }
     when unstrided mdims -> (
       let ctx_i = add_idxs ctx midxs in
       match infer ctx_i finit with
@@ -47,7 +49,8 @@ let try_rule1 ctx { mdims; midxs; mbody } =
             Map
               { mdims;
                 midxs = idxs';
-                mbody = body_build sigma (List.map (fun s -> Var s) idxs') }
+                mbody = body_build sigma (List.map (fun s -> Var s) idxs');
+                mprov = Prov.push mprov "interchange.lift" }
           in
           let init' =
             lift (fun sigma _ -> Ir.rename_binders (Ir.subst sigma finit))
@@ -76,7 +79,8 @@ let try_rule1 ctx { mdims; midxs; mbody } =
                  finit = init';
                  facc = acc_a;
                  fupd = upd';
-                 fcomb = { ca = a; cb = b; cbody = comb_body } })
+                 fcomb = { ca = a; cb = b; cbody = comb_body };
+                 fprov = Prov.push fprov "interchange" })
       | _ -> None)
   | _ -> None
 
@@ -89,7 +93,7 @@ let try_rule1 ctx { mdims; midxs; mbody } =
    Sound when each written slice element depends only on the accumulator
    at its own (global) position, checked via affine equality of every
    accumulator read against [offset + inner index]. *)
-let try_rule2 _ctx { fdims; fidxs; finit; facc; fupd; fcomb } =
+let try_rule2 _ctx { fdims; fidxs; finit; facc; fupd; fcomb; fprov } =
   match fupd with
   | MultiFold
       { odims = [ (Dtiles _ as sd) ];
@@ -99,8 +103,11 @@ let try_rule2 _ctx { fdims; fidxs; finit; facc; fupd; fcomb } =
           [ { orange = [ range ];
               oregion = [ (off, len, lenb) ];
               oacc = _;
-              oupd = Map { mdims = [ tail_dom ]; midxs = [ j ]; mbody } } ];
+              oupd =
+                Map { mdims = [ tail_dom ]; midxs = [ j ]; mbody;
+                      mprov = inner_mprov } } ];
         ocomb = None;
+        oprov;
         _ }
     when List.for_all (fun d -> not (is_strided d)) fdims -> (
       (* every read of the fold accumulator must target offset + j *)
@@ -183,14 +190,18 @@ let try_rule2 _ctx { fdims; fidxs; finit; facc; fupd; fcomb } =
                                Map
                                  { mdims = [ tail_dom' ];
                                    midxs = [ j' ];
-                                   mbody = inner_body };
+                                   mbody = inner_body;
+                                   mprov =
+                                     Prov.push inner_mprov "interchange" };
                              fcomb =
                                (let a = Sym.fresh "a" and b = Sym.fresh "b" in
                                 { ca = a;
                                   cb = b;
-                                  cbody = build [ len' ] (Var a) (Var b) }) } }
+                                  cbody = build [ len' ] (Var a) (Var b) });
+                             fprov = Prov.push fprov "interchange" } }
                    ];
-                 ocomb = None })
+                 ocomb = None;
+                 oprov = Prov.push oprov "interchange" })
       | _ -> None)
   | _ -> None
 
@@ -234,7 +245,8 @@ let try_split ctx ({ odims; oidxs; olets; _ } as mf) =
           let mapped =
             { mdims = odims;
               midxs = map_idxs;
-              mbody = Ir.rename_binders (Ir.subst sigma bexp) }
+              mbody = Ir.rename_binders (Ir.subst sigma bexp);
+              mprov = Prov.push mf.oprov "interchange.split" }
           in
           let interchanged =
             match try_rule1 ctx mapped with

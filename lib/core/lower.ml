@@ -25,11 +25,31 @@ type ctx = {
   caches : (Sym.t, string) Hashtbl.t;
   dyn_lens : (Sym.t * Hw.trip) list;  (* FlatMap outputs: expected lengths *)
   counter : int ref;
+  prov : Prov.t;  (* nearest enclosing source pattern's provenance *)
 }
 
 let fresh_name ctx base =
   incr ctx.counter;
   Printf.sprintf "%s_%d" base !(ctx.counter)
+
+(* provenance carried by a pattern node, if any *)
+let pat_prov = function
+  | Map m -> m.mprov
+  | Fold f -> f.fprov
+  | MultiFold mf -> mf.oprov
+  | FlatMap fm -> fm.fmprov
+  | GroupByFold g -> g.gprov
+  | _ -> Prov.none
+
+(* provenance of a leaf expression: its top pattern, or the pattern its
+   Let-spine terminates in *)
+let rec exp_prov e =
+  let p = pat_prov e in
+  if not (Prov.is_none p) then p
+  else match e with Let (_, _, rest) -> exp_prov rest | _ -> Prov.none
+
+let node_prov ctx p = if Prov.is_none p then ctx.prov else p
+let under_prov ctx p = { ctx with prov = p }
 
 let add_ty ctx s t = { ctx with tenv = Sym.Map.add s t ctx.tenv }
 
@@ -49,7 +69,7 @@ let rec width_of_ty = function
 let alloc_mem ctx ~name ~kind ~width ~depth ~banks =
   let m =
     { Hw.mem_name = name; kind; width_bits = width; depth; banks;
-      readers = 0; writers = 0 }
+      readers = 0; writers = 0; mem_prov = ctx.prov }
   in
   ctx.mems := m :: !(ctx.mems);
   name
@@ -387,8 +407,9 @@ let lower_leaf ctx ~defines base e =
   (* fill latency: critical path of the datapath after MaxJ's automatic
      pipelining *)
   let depth = Depth.of_exp e in
+  let name = fresh_name ctx base in
   Hw.Pipe
-    { name = fresh_name ctx base;
+    { name;
       trips;
       template = template_of e;
       par = ctx.opts.par;
@@ -401,7 +422,8 @@ let lower_leaf ctx ~defines base e =
         | bs -> Some (Tup bs));
       dram;
       uses = buffer_uses ctx e @ cache_uses ctx e;
-      defines }
+      defines;
+      prov = Prov.push (node_prov ctx (exp_prov e)) name }
 
 (* --------------------------- memory sizing ------------------------- *)
 
@@ -557,14 +579,16 @@ let lower_copy ctx s { csrc; cdims; creuse } =
     alloc_mem ctx ~name:(Sym.name s) ~kind:Hw.Buffer
       ~width:(elt_width_of_src ctx csrc) ~depth ~banks:ctx.opts.par
   in
+  let load_name = fresh_name ctx ("load_" ^ arr_name) in
   let load =
     Hw.Tile_load
-      { name = fresh_name ctx ("load_" ^ arr_name);
+      { name = load_name;
         mem = mem_name;
         array = arr_name;
         words;
         path = [];
-        reuse = creuse }
+        reuse = creuse;
+        prov = Prov.push ctx.prov load_name }
   in
   (mem_name, load)
 
@@ -597,9 +621,11 @@ let rec lower_stages ctx e ~dest : Hw.ctrl list =
   | Let
       ( x,
         FlatMap
-          { fmdim = Dtiles { total; tile } as od; fmidx; fmbody },
+          { fmdim = Dtiles { total; tile } as od; fmidx; fmbody; fmprov; _ },
         (Fold { fdims = [ Dfull (Len (Var x', 0)) ]; _ } as consumer) )
     when Sym.equal x x' ->
+      let bprov = node_prov ctx fmprov in
+      let ctx = under_prov ctx bprov in
       let fifo =
         alloc_mem ctx ~name:(Sym.name x) ~kind:Hw.Fifo ~width:32
           ~depth:(2 * tile) ~banks:1
@@ -618,11 +644,13 @@ let rec lower_stages ctx e ~dest : Hw.ctrl list =
           bufs = (x, [ fifo ]) :: ctx.bufs }
       in
       let reduce = lower_value ctx_consume consumer ~dest in
+      let name = fresh_name ctx "stream" in
       [ Hw.Loop
-          { name = fresh_name ctx "stream";
+          { name;
             trips = [ trip_of_dom ctx od ];
             meta = ctx.opts.meta;
-            stages = inner_stages @ reduce } ]
+            stages = inner_stages @ reduce;
+            prov = Prov.push bprov name } ]
   | Let (s, Copy c, rest) ->
       let mem_name, load = lower_copy ctx s c in
       let t = infer ctx (Copy c) in
@@ -630,12 +658,14 @@ let rec lower_stages ctx e ~dest : Hw.ctrl list =
       load :: lower_stages ctx' rest ~dest
   | Let (s, rhs, rest) when is_pattern rhs ->
       let t = infer ctx rhs in
+      (* the intermediate's storage belongs to the pattern computing it *)
+      let ctx_a = under_prov ctx (node_prov ctx (pat_prov rhs)) in
       let names =
-        match alloc_value ctx (Sym.name s) t (init_hint_of rhs) with
+        match alloc_value ctx_a (Sym.name s) t (init_hint_of rhs) with
         | Some names -> names
         | None ->
             (* intermediate too large: keep in DRAM *)
-            [ alloc_mem ctx ~name:(Sym.name s) ~kind:Hw.Buffer ~width:32
+            [ alloc_mem ctx_a ~name:(Sym.name s) ~kind:Hw.Buffer ~width:32
                 ~depth:1 ~banks:1 ]
       in
       let stage = lower_value ctx rhs ~dest:(Onchip names) in
@@ -704,12 +734,16 @@ and lower_value ctx e ~dest : Hw.ctrl list =
   | GroupByFold g -> lower_groupbyfold ctx g ~dest
   | Map m ->
       (* non-leaf Map: loop over its domain with staged body *)
-      let ctx' = add_idxs ctx m.midxs in
+      let bprov = node_prov ctx m.mprov in
+      let ctx' = add_idxs (under_prov ctx bprov) m.midxs in
+      let stages = lower_stages ctx' m.mbody ~dest in
+      let name = fresh_name ctx "map_loop" in
       [ Hw.Loop
-          { name = fresh_name ctx "map_loop";
+          { name;
             trips = List.map (trip_of_dom ctx) m.mdims;
             meta = ctx.opts.meta;
-            stages = lower_stages ctx' m.mbody ~dest } ]
+            stages;
+            prov = Prov.push bprov name } ]
   | Let _ -> lower_stages ctx e ~dest
   | e ->
       (* fallback: treat as one pipe *)
@@ -723,6 +757,8 @@ and lower_leaf_value ctx e ~dest : Hw.ctrl list =
     when List.length mf.oouts = List.length names ->
       (* one pipe per accumulator component, running in parallel
          (Fig. 6's Pipe 3 / Pipe 4) *)
+      let bprov = node_prov ctx mf.oprov in
+      let ctx = under_prov ctx bprov in
       let ctx_i = add_idxs ctx mf.oidxs in
       let ctx_i =
         List.fold_left
@@ -745,11 +781,14 @@ and lower_leaf_value ctx e ~dest : Hw.ctrl list =
                    oouts = [ out ] }))
           (List.combine mf.oouts names)
       in
-      [ Hw.Par { name = fresh_name ctx "par"; children = pipes } ]
+      let name = fresh_name ctx "par" in
+      [ Hw.Par { name; children = pipes; prov = Prov.push bprov name } ]
   | _, Onchip names -> [ lower_leaf ctx ~defines:names "pipe" e ]
   | _, Dram_arr arr ->
       (* leaf computing a DRAM-resident value: pipe into a staging buffer
          then store (used for whole-result leaves) *)
+      let bprov = node_prov ctx (exp_prov e) in
+      let ctx = under_prov ctx bprov in
       let stage_mem =
         alloc_mem ctx ~name:(fresh_name ctx "stage") ~kind:Hw.Buffer ~width:32
           ~depth:1024 ~banks:ctx.opts.par
@@ -768,16 +807,20 @@ and lower_leaf_value ctx e ~dest : Hw.ctrl list =
             | _ -> Hw.Tconst 1.0)
         | _ -> Hw.Tconst 1.0
       in
+      let sname = fresh_name ctx ("store_" ^ arr) in
       [ pipe;
         Hw.Tile_store
-          { name = fresh_name ctx ("store_" ^ arr);
+          { name = sname;
             mem = Some stage_mem;
             array = arr;
             words;
-            path = [] } ]
+            path = [];
+            prov = Prov.push bprov sname } ]
 
-and lower_fold ctx ({ fdims; fidxs; finit; facc; fupd; fcomb = _ } as _f)
+and lower_fold ctx ({ fdims; fidxs; finit; facc; fupd; fcomb = _; fprov; _ } as _f)
     ~dest : Hw.ctrl list =
+  let bprov = node_prov ctx fprov in
+  let ctx = under_prov ctx bprov in
   let acc_t = infer ctx finit in
   let acc_names =
     match dest with
@@ -797,11 +840,13 @@ and lower_fold ctx ({ fdims; fidxs; finit; facc; fupd; fcomb = _ } as _f)
   in
   let stages = lower_stages ctx_b body ~dest:(Onchip acc_names) in
   let loop =
+    let name = fresh_name ctx "fold_loop" in
     Hw.Loop
-      { name = fresh_name ctx "fold_loop";
+      { name;
         trips = List.map (trip_of_dom ctx) fdims;
         meta = ctx.opts.meta;
-        stages }
+        stages;
+        prov = Prov.push bprov name }
   in
   match dest with
   | Onchip _ -> [ loop ]
@@ -813,16 +858,21 @@ and lower_fold ctx ({ fdims; fidxs; finit; facc; fupd; fcomb = _ } as _f)
             Hw.trip_product (List.map (trip_of_size ctx) shape)
         | _ -> Hw.Tconst 1.0
       in
+      let sname = fresh_name ctx ("store_" ^ arr) in
       [ loop;
         Hw.Tile_store
-          { name = fresh_name ctx ("store_" ^ arr);
+          { name = sname;
             mem = (match acc_names with n :: _ -> Some n | [] -> None);
             array = arr;
             words;
-            path = [] } ]
+            path = [];
+            prov = Prov.push bprov sname } ]
 
 and lower_multifold ctx
-    ({ odims; oidxs; oinit; olets; oouts; ocomb } as mf) ~dest : Hw.ctrl list =
+    ({ odims; oidxs; oinit; olets; oouts; ocomb; oprov; _ } as mf) ~dest :
+    Hw.ctrl list =
+  let bprov = node_prov ctx oprov in
+  let ctx = under_prov ctx bprov in
   let init_t = infer ctx oinit in
   match dest with
   | Onchip names ->
@@ -870,11 +920,13 @@ and lower_multifold ctx
           (MultiFold { mf with olets = residual_olets; odims; oidxs })
           ~dest:(Onchip names)
       in
+      let name = fresh_name ctx "mf_loop" in
       [ Hw.Loop
-          { name = fresh_name ctx "mf_loop";
+          { name;
             trips = List.map (trip_of_dom ctx) odims;
             meta = ctx.opts.meta;
-            stages = let_stages @ upd_stage } ]
+            stages = let_stages @ upd_stage;
+            prov = Prov.push bprov name } ]
   | Dram_arr arr -> (
       (* DRAM-resident accumulator: per-iteration region stores (plus
          load+merge when a combine makes it a read-modify-write) *)
@@ -913,21 +965,25 @@ and lower_multifold ctx
             match ocomb with
             | None -> []
             | Some _ ->
+                let lname = fresh_name ctx ("load_" ^ arr) in
                 [ Hw.Tile_load
-                    { name = fresh_name ctx ("load_" ^ arr);
+                    { name = lname;
                       mem = staging;
                       array = arr;
                       words;
                       path = [];
-                      reuse = 1 } ]
+                      reuse = 1;
+                      prov = Prov.push bprov lname } ]
           in
           let store =
+            let sname = fresh_name ctx ("store_" ^ arr) in
             Hw.Tile_store
-              { name = fresh_name ctx ("store_" ^ arr);
+              { name = sname;
                 mem = Some staging;
                 array = arr;
                 words;
-                path = [] }
+                path = [];
+                prov = Prov.push bprov sname }
           in
           (* Forwarding path (Section 5): loop dimensions the accumulator
              region does not index are pushed into an inner loop, so the
@@ -984,31 +1040,40 @@ and lower_multifold ctx
           if
             rmw <> [] && inner <> [] && outer <> []
             && 2 * region_static >= copy_words_bound
-          then
+          then begin
+            let inner_loop =
+              let name = fresh_name ctx "mf_inner" in
+              Hw.Loop
+                { name;
+                  trips = List.map (fun (d, _) -> trip_of_dom ctx d) inner;
+                  meta = ctx.opts.meta;
+                  stages = let_stages @ compute;
+                  prov = Prov.push bprov name }
+            in
+            let name = fresh_name ctx "mf_loop" in
             [ Hw.Loop
-                { name = fresh_name ctx "mf_loop";
+                { name;
                   trips = List.map (fun (d, _) -> trip_of_dom ctx d) outer;
                   meta = ctx.opts.meta;
-                  stages =
-                    rmw
-                    @ [ Hw.Loop
-                          { name = fresh_name ctx "mf_inner";
-                            trips =
-                              List.map (fun (d, _) -> trip_of_dom ctx d) inner;
-                            meta = ctx.opts.meta;
-                            stages = let_stages @ compute } ]
-                    @ [ store ] } ]
+                  stages = rmw @ [ inner_loop ] @ [ store ];
+                  prov = Prov.push bprov name } ]
+          end
           else
+            let name = fresh_name ctx "mf_loop" in
             [ Hw.Loop
-                { name = fresh_name ctx "mf_loop";
+                { name;
                   trips = List.map (trip_of_dom ctx) odims;
                   meta = ctx.opts.meta;
-                  stages = let_stages @ rmw @ compute @ [ store ] } ]
+                  stages = let_stages @ rmw @ compute @ [ store ];
+                  prov = Prov.push bprov name } ]
       | _ ->
           (* multi-output DRAM accumulator: not produced by the pipeline *)
           [ lower_leaf ctx ~defines:[] "pipe" (MultiFold mf) ])
 
-and lower_flatmap ctx ({ fmdim; fmidx; fmbody } as fm) ~dest : Hw.ctrl list =
+and lower_flatmap ctx ({ fmdim; fmidx; fmbody; fmprov; _ } as fm) ~dest :
+    Hw.ctrl list =
+  let bprov = node_prov ctx fmprov in
+  let ctx = under_prov ctx bprov in
   let fifo =
     match dest with
     | Onchip (n :: _) -> n
@@ -1019,13 +1084,18 @@ and lower_flatmap ctx ({ fmdim; fmidx; fmbody } as fm) ~dest : Hw.ctrl list =
   let ctx' = add_idxs ctx [ fmidx ] in
   if is_leaf (FlatMap fm) then [ lower_leaf ctx ~defines:[ fifo ] "filter" (FlatMap fm) ]
   else
+    let stages = lower_flatmap_body ctx' fmbody ~fifo in
+    let name = fresh_name ctx "fm_loop" in
     [ Hw.Loop
-        { name = fresh_name ctx "fm_loop";
+        { name;
           trips = [ trip_of_dom ctx fmdim ];
           meta = ctx.opts.meta;
-          stages = lower_flatmap_body ctx' fmbody ~fifo } ]
+          stages;
+          prov = Prov.push bprov name } ]
 
 and lower_groupbyfold ctx g ~dest : Hw.ctrl list =
+  let bprov = node_prov ctx g.gprov in
+  let ctx = under_prov ctx bprov in
   let cam =
     match dest with
     | Onchip (n :: _) -> n
@@ -1055,17 +1125,25 @@ and lower_groupbyfold ctx g ~dest : Hw.ctrl list =
       let inner =
         GroupByFold { g with gdims = rest; gidxs = List.tl g.gidxs; glets = residual }
       in
+      let stages =
+        List.rev loads @ [ lower_leaf ctx' ~defines:[ cam ] "cam" inner ]
+      in
+      let name = fresh_name ctx "gbf_loop" in
       [ Hw.Loop
-          { name = fresh_name ctx "gbf_loop";
+          { name;
             trips = [ trip_of_dom ctx od ];
             meta = ctx.opts.meta;
-            stages = List.rev loads @ [ lower_leaf ctx' ~defines:[ cam ] "cam" inner ] }
+            stages;
+            prov = Prov.push bprov name }
       ]
   | _ -> [ lower_leaf ctx ~defines:[ cam ] "cam" (GroupByFold g) ]
 
 (* ------------------------------ top ------------------------------- *)
 
 let lower_program opts (p : program) =
+  (* defensive: untiled (baseline) programs reach here without going
+     through Tiling.run, so stamp source-pattern ids now (idempotent) *)
+  let p = Prov_stamp.program p in
   let result_ty = Validate.check_program p in
   let tenv = Validate.initial_env p in
   let rec bound e =
@@ -1095,7 +1173,8 @@ let lower_program opts (p : program) =
       mems = ref [];
       caches = Hashtbl.create 8;
       dyn_lens = [];
-      counter = ref 0 }
+      counter = ref 0;
+      prov = Prov.root (p.pname ^ "/top") }
   in
   (* the program result: on-chip if it fits (then stored once at the end),
      DRAM-resident otherwise (stores happen inside the loops) *)
@@ -1162,17 +1241,21 @@ let lower_program opts (p : program) =
             Hw.trip_product (List.map (trip_of_size ctx) out.orange)
         | _ -> Hw.Tconst 1.0
       in
+      let sname = fresh_name ctx "store_result" in
       body_stages
       @ [ Hw.Tile_store
-            { name = fresh_name ctx "store_result";
+            { name = sname;
               mem = (match names with n :: _ -> Some n | [] -> None);
               array = "result";
               words;
-              path = [] } ]
+              path = [];
+              prov = Prov.push (node_prov ctx (exp_prov fexp)) sname } ]
     end
     else lower_stages ctx p.body ~dest:(Dram_arr "result")
   in
-  let top = Hw.Seq { name = p.pname ^ "_top"; children = stages } in
+  let top =
+    Hw.Seq { name = p.pname ^ "_top"; children = stages; prov = ctx.prov }
+  in
   let design =
     { Hw.design_name = p.pname;
       mems = List.rev !(ctx.mems);

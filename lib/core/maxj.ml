@@ -77,15 +77,15 @@ let rec emit_ctrl buf indent c =
   let pad = String.make indent ' ' in
   let line fmt = Printf.ksprintf (fun s -> Buffer.add_string buf (pad ^ s ^ "\n")) fmt in
   match c with
-  | Hw.Seq { name; children } ->
+  | Hw.Seq { name; children; _ } ->
       line "SequentialController %s = control.sequential(() -> {" name;
       List.iter (emit_ctrl buf (indent + 2)) children;
       line "});"
-  | Hw.Par { name; children } ->
+  | Hw.Par { name; children; _ } ->
       line "ParallelController %s = control.parallel(() -> {" name;
       List.iter (emit_ctrl buf (indent + 2)) children;
       line "});"
-  | Hw.Loop { name; trips; meta; stages } ->
+  | Hw.Loop { name; trips; meta; stages; _ } ->
       line "%s %s = control.%s(%s, () -> {"
         (if meta then "Metapipeline" else "LoopController")
         name
@@ -93,7 +93,7 @@ let rec emit_ctrl buf indent c =
         (trips_str trips);
       List.iter (emit_ctrl buf (indent + 2)) stages;
       line "});"
-  | Hw.Pipe { name; trips; template; par; depth; ii; ops; uses; defines; dram; body }
+  | Hw.Pipe { name; trips; template; par; depth; ii; ops; uses; defines; dram; body; _ }
     ->
       line "%s %s = compute.%s(%s)" (template_ctor template) name
         (String.uncapitalize_ascii (template_ctor template))

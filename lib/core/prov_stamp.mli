@@ -1,0 +1,11 @@
+(** Stamp stable source-pattern provenance ids onto a pattern IR tree.
+
+    Each pattern node (Map/Fold/MultiFold/FlatMap/GroupByFold) gets an
+    origin of the form ["<pname>/<kind>#<n>"] where [n] is the node's
+    preorder position among pattern nodes.  Nodes that already carry
+    provenance are left untouched, so stamping is idempotent and safe to
+    re-run defensively before lowering; the preorder counter still
+    advances over stamped nodes, so ids are stable for a given tree. *)
+
+val exp : pname:string -> Ir.exp -> Ir.exp
+val program : Ir.program -> Ir.program

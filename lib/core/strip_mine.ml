@@ -98,7 +98,7 @@ and sm_comb _ctx _acc_t c = c
 
 (* T[Map]: MultiFold over tiles writing rectangular regions, each holding
    an inner Map over one tile (Table 1, first rule). *)
-and sm_map ctx ({ mdims; midxs; mbody } as m) =
+and sm_map ctx ({ mdims; midxs; mbody; mprov } as m) =
   let ctx_body = add_idxs ctx midxs in
   let body' = sm ctx_body mbody in
   let plans = plan_dims ctx mdims midxs in
@@ -110,7 +110,8 @@ and sm_map ctx ({ mdims; midxs; mbody } as m) =
       Map
         { mdims = List.map inner_dom plans;
           midxs = List.map inner_idx plans;
-          mbody = Ir.subst sigma body' }
+          mbody = Ir.subst sigma body';
+          mprov = Prov.push mprov "strip_mine.tile" }
     in
     let range = List.map plan_total plans in
     let region =
@@ -134,13 +135,14 @@ and sm_map ctx ({ mdims; midxs; mbody } as m) =
               oregion = region;
               oacc = Sym.fresh "acc";
               oupd = inner_map } ];
-        ocomb = None }
+        ocomb = None;
+        oprov = Prov.push mprov "strip_mine" }
   end
 
 (* T[Fold]: strided fold of per-tile folds, merged with the combine
    function (Table 1, second rule restricted to whole-accumulator
    updates). *)
-and sm_fold ctx { fdims; fidxs; finit; facc; fupd; fcomb } =
+and sm_fold ctx { fdims; fidxs; finit; facc; fupd; fcomb; fprov } =
   let acc_t = infer ctx finit in
   let finit' = sm ctx finit in
   let ctx_body = add_ty (add_idxs ctx fidxs) facc acc_t in
@@ -148,7 +150,9 @@ and sm_fold ctx { fdims; fidxs; finit; facc; fupd; fcomb } =
   let fcomb' = sm_comb ctx acc_t fcomb in
   let plans = plan_dims ctx fdims fidxs in
   if not (any_tiled plans) then
-    Fold { fdims; fidxs; finit = finit'; facc; fupd = fupd'; fcomb = fcomb' }
+    Fold
+      { fdims; fidxs; finit = finit'; facc; fupd = fupd'; fcomb = fcomb';
+        fprov }
   else begin
     let sigma = index_subst plans fidxs in
     let inner =
@@ -158,7 +162,8 @@ and sm_fold ctx { fdims; fidxs; finit; facc; fupd; fcomb } =
           finit = Ir.rename_binders finit';
           facc;
           fupd = Ir.subst sigma fupd';
-          fcomb = Combs.rename fcomb' }
+          fcomb = Combs.rename fcomb';
+          fprov = Prov.push fprov "strip_mine.tile" }
     in
     let acc_o = Sym.fresh (Sym.base facc) in
     Fold
@@ -167,10 +172,11 @@ and sm_fold ctx { fdims; fidxs; finit; facc; fupd; fcomb } =
         finit = finit';
         facc = acc_o;
         fupd = comb_apply (Combs.rename fcomb') (Var acc_o) inner;
-        fcomb = fcomb' }
+        fcomb = fcomb';
+        fprov = Prov.push fprov "strip_mine" }
   end
 
-and sm_multifold ctx ({ odims; oidxs; oinit; olets; oouts; ocomb } as mf) =
+and sm_multifold ctx ({ odims; oidxs; oinit; olets; oouts; ocomb; oprov } as mf) =
   let init_t = infer ctx oinit in
   let comp_tys =
     match (init_t, oouts) with
@@ -212,16 +218,16 @@ and sm_multifold ctx ({ odims; oidxs; oinit; olets; oouts; ocomb } as mf) =
     MultiFold { mf with oinit = oinit'; olets = olets'; oouts = oouts'; ocomb = ocomb' }
   else
     match ocomb' with
-    | None -> flatten_multifold plans oidxs oinit' olets' oouts'
+    | None -> flatten_multifold oprov plans oidxs oinit' olets' oouts'
     | Some comb' -> (
-        match localizable ctx plans oidxs oinit' oouts' comb' with
+        match localizable oprov ctx plans oidxs oinit' oouts' comb' with
         | Some result -> result
         | None ->
-            fold_of_multifold plans oidxs oinit' olets' oouts' comb')
+            fold_of_multifold oprov plans oidxs oinit' olets' oouts' comb')
 
 (* Combine-less MultiFold: equivalent flattened form with [Dtiles; Dtail]
    dimension pairs. *)
-and flatten_multifold plans oidxs oinit' olets' oouts' =
+and flatten_multifold oprov plans oidxs oinit' olets' oouts' =
   let sigma = index_subst plans oidxs in
   let dims, idxs =
     List.fold_right
@@ -248,11 +254,12 @@ and flatten_multifold plans oidxs oinit' olets' oouts' =
                   out.oregion;
               oupd = Ir.subst sigma out.oupd })
           oouts';
-      ocomb = None }
+      ocomb = None;
+      oprov = Prov.push oprov "strip_mine" }
 
 (* MultiFold with a combine whose updates cannot be localized: strided Fold
    of per-tile MultiFolds (the k-means shape, Fig. 5a). *)
-and fold_of_multifold plans oidxs oinit' olets' oouts' comb' =
+and fold_of_multifold oprov plans oidxs oinit' olets' oouts' comb' =
   let sigma = index_subst plans oidxs in
   let inner =
     MultiFold
@@ -270,7 +277,8 @@ and fold_of_multifold plans oidxs oinit' olets' oouts' comb' =
                     out.oregion;
                 oupd = Ir.subst sigma out.oupd })
             oouts';
-        ocomb = Some comb' }
+        ocomb = Some comb';
+        oprov = Prov.push oprov "strip_mine.tile" }
   in
   let acc_o = Sym.fresh "acc" in
   Fold
@@ -279,13 +287,14 @@ and fold_of_multifold plans oidxs oinit' olets' oouts' comb' =
       finit = oinit';
       facc = acc_o;
       fupd = comb_apply (Combs.rename comb') (Var acc_o) inner;
-      fcomb = Combs.rename comb' }
+      fcomb = Combs.rename comb';
+      fprov = Prov.push oprov "strip_mine" }
 
 (* Accumulator localization (Table 2, sumrows): when the single output's
    update regions are unit regions addressed exactly by tiled indices and
    the combine is elementwise, the inner MultiFold reduces into a
    tile-sized accumulator and the outer writes tile slices. *)
-and localizable ctx plans oidxs oinit' oouts' comb' =
+and localizable oprov ctx plans oidxs oinit' oouts' comb' =
   match (oouts', Combs.elementwise comb') with
   | [ out ], Some build -> (
       match oinit' with
@@ -349,7 +358,8 @@ and localizable ctx plans oidxs oinit' oouts' comb' =
                       (let a = Sym.fresh "a" and b = Sym.fresh "b" in
                        { ca = a;
                          cb = b;
-                         cbody = build inner_shape (Var a) (Var b) }) }
+                         cbody = build inner_shape (Var a) (Var b) });
+                  oprov = Prov.push oprov "strip_mine.tile" }
             in
             let outer_region =
               List.map2
@@ -375,13 +385,14 @@ and localizable ctx plans oidxs oinit' oouts' comb' =
                          oregion = outer_region;
                          oacc = oacc2;
                          oupd = build inner_shape (Var oacc2) inner } ];
-                   ocomb = Some (Combs.rename comb') })
+                   ocomb = Some (Combs.rename comb');
+                   oprov = Prov.push oprov "strip_mine" })
           end
       | _ -> None)
   | _ -> None
 
 (* T[FlatMap]: FlatMap over tiles of FlatMaps over one tile (Table 1). *)
-and sm_flatmap ctx { fmdim; fmidx; fmbody } =
+and sm_flatmap ctx { fmdim; fmidx; fmbody; fmprov } =
   let body' = sm (add_idxs ctx [ fmidx ]) fmbody in
   match plan_dims ctx [ fmdim ] [ fmidx ] with
   | [ Tile { total; tile; ii; inner } ] ->
@@ -396,13 +407,16 @@ and sm_flatmap ctx { fmdim; fmidx; fmbody } =
             FlatMap
               { fmdim = Dtail { total; tile; outer = ii };
                 fmidx = inner;
-                fmbody = Ir.subst sigma body' } }
-  | _ -> FlatMap { fmdim; fmidx; fmbody = body' }
+                fmbody = Ir.subst sigma body';
+                fmprov = Prov.push fmprov "strip_mine.tile" };
+          fmprov = Prov.push fmprov "strip_mine" }
+  | _ -> FlatMap { fmdim; fmidx; fmbody = body'; fmprov }
 
 (* T[GroupByFold]: flattened tiled form (Table 1's nested form merges
    buckets tile-wise with the same combine; the flattened form streams the
    same elements through the same buckets). *)
-and sm_groupbyfold ctx { gdims; gidxs; ginit; glets; gkey; gacc; gupd; gcomb } =
+and sm_groupbyfold ctx
+    { gdims; gidxs; ginit; glets; gkey; gacc; gupd; gcomb; gprov } =
   let v_t = infer ctx ginit in
   let ginit' = sm ctx ginit in
   let ctx_i = add_idxs ctx gidxs in
@@ -421,7 +435,7 @@ and sm_groupbyfold ctx { gdims; gidxs; ginit; glets; gkey; gacc; gupd; gcomb } =
   if not (any_tiled plans) then
     GroupByFold
       { gdims; gidxs; ginit = ginit'; glets = glets'; gkey = gkey'; gacc;
-        gupd = gupd'; gcomb = gcomb' }
+        gupd = gupd'; gcomb = gcomb'; gprov }
   else begin
     let sigma = index_subst plans gidxs in
     let dims, idxs =
@@ -442,7 +456,8 @@ and sm_groupbyfold ctx { gdims; gidxs; ginit; glets; gkey; gacc; gupd; gcomb } =
         gkey = Ir.subst sigma gkey';
         gacc;
         gupd = Ir.subst sigma gupd';
-        gcomb = gcomb' }
+        gcomb = gcomb';
+        gprov = Prov.push gprov "strip_mine" }
   end
 
 let exp ~tiles ~tenv ~bound e = sm { tiles; tenv; bound } e

@@ -64,6 +64,9 @@ let run ?fuse_filters ?budget_words ~tiles (p : Ir.program) =
           (Printf.sprintf "Tiling.run: %s is not a size parameter of %s"
              (Sym.name s) p.Ir.pname))
     tiles;
+  (* name every source pattern before any transformation touches it, so
+     the hardware tree can be attributed back to this program's patterns *)
+  let p = Prov_stamp.program p in
   ignore (Validate.check_program p);
   let nodes (q : Ir.program) = Rewrite.node_count q.Ir.body in
   Trace.with_span ~cat:"pass"

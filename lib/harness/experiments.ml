@@ -283,7 +283,7 @@ let traffic ?machine ?(profile = false) ?sizes (bench : Suite.bench) =
   let prof =
     if profile then
       let inputs = bench.Suite.gen ~sizes ~seed:2026 in
-      let _, counts = Profile.run r.Tiling.tiled ~sizes ~inputs in
+      let _, counts = Mem_profile.run r.Tiling.tiled ~sizes ~inputs in
       Some counts
     else None
   in
@@ -294,7 +294,7 @@ let traffic ?machine ?(profile = false) ?sizes (bench : Suite.bench) =
         tbaseline = Simulate.read_words rep_b name;
         ttiled = Simulate.read_words rep_t name;
         tprofile =
-          Option.map (fun counts -> Profile.words counts inp.Ir.iname) prof })
+          Option.map (fun counts -> Mem_profile.words counts inp.Ir.iname) prof })
     bench.Suite.prog.Ir.inputs
 
 let print_traffic bench_name rows =

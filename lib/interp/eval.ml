@@ -144,7 +144,7 @@ let rec eval ?(mode = Sequential) env e =
       else V.Arr (Ndarray.create (List.map (eval_int ~mode env) shape) zero)
   | ArrLit es -> V.Arr (Ndarray.of_list (List.map (ev env) es))
   | EmptyArr _ -> V.Arr (Ndarray.of_list [])
-  | Map { mdims; midxs; mbody } ->
+  | Map { mdims; midxs; mbody; _ } ->
       (* Map iteration spaces are rectangular: any Dtail refers to an
          enclosing binder already bound in [env]. *)
       let shape = List.map (dom_extent ~mode env) mdims in
@@ -154,13 +154,13 @@ let rec eval ?(mode = Sequential) env e =
             ev env' mbody)
       in
       V.Arr result
-  | Fold { fdims; fidxs; finit; facc; fupd; fcomb } ->
+  | Fold { fdims; fidxs; finit; facc; fupd; fcomb; _ } ->
       let init () = V.deep_copy (ev env finit) in
       let step acc env_i = eval ~mode (Sym.Map.add facc acc env_i) fupd in
       let combine a b = eval_comb ~mode env fcomb a b in
       reduce_domain ~mode env fdims fidxs ~init ~step ~combine
   | MultiFold mf -> eval_multifold ~mode env mf
-  | FlatMap { fmdim; fmidx; fmbody } ->
+  | FlatMap { fmdim; fmidx; fmbody; _ } ->
       let n = dom_extent ~mode env fmdim in
       let pieces =
         List.init n (fun idx ->
@@ -280,7 +280,7 @@ and reduce_domain : 'a.
             List.fold_left combine (List.hd partials) (List.tl partials)
           end)
 
-and eval_multifold ~mode env { odims; oidxs; oinit; olets; oouts; ocomb } =
+and eval_multifold ~mode env { odims; oidxs; oinit; olets; oouts; ocomb; _ } =
   let multi = List.length oouts > 1 in
   let split v =
     if multi then
@@ -341,7 +341,7 @@ and eval_multifold ~mode env { odims; oidxs; oinit; olets; oouts; ocomb } =
       join result
 
 and eval_groupbyfold ~mode env
-    { gdims; gidxs; ginit; glets; gkey; gacc; gupd; gcomb } =
+    { gdims; gidxs; ginit; glets; gkey; gacc; gupd; gcomb; _ } =
   let run_range lo hi =
     let buckets = ref [] in
     iter_domain ~mode env gdims gidxs ~first_lo:lo ~first_hi:hi (fun env_i ->

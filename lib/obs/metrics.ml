@@ -68,6 +68,21 @@ let snapshot () =
            | Etimer t -> Timer { seconds = t.t_seconds; count = t.t_count } ))
   |> List.sort (fun (a, _) (b, _) -> String.compare a b)
 
+let diff ~base cur =
+  let base_of k = List.assoc_opt k base in
+  List.filter_map
+    (fun (k, v) ->
+      match (v, base_of k) with
+      | Counter n, Some (Counter n0) ->
+          if n = n0 then None else Some (k, Counter (n - n0))
+      | Timer { seconds; count }, Some (Timer { seconds = s0; count = c0 }) ->
+          if count = c0 && seconds = s0 then None
+          else Some (k, Timer { seconds = seconds -. s0; count = count - c0 })
+      | Gauge _, Some (Gauge _) -> Some (k, v)
+      (* new since the baseline, or rebound to another kind: report as-is *)
+      | _, _ -> Some (k, v))
+    cur
+
 let escape s =
   let b = Buffer.create (String.length s + 2) in
   String.iter
@@ -81,8 +96,7 @@ let escape s =
     s;
   Buffer.contents b
 
-let to_json () =
-  let snap = snapshot () in
+let values_to_json snap =
   let section f =
     String.concat ", " (List.filter_map f snap)
   in
@@ -108,8 +122,9 @@ let to_json () =
     "{\"counters\": {%s}, \"gauges\": {%s}, \"timers\": {%s}}\n" counters
     gauges timers
 
-let pp fmt () =
-  let snap = snapshot () in
+let to_json () = values_to_json (snapshot ())
+
+let pp_values fmt snap =
   if snap <> [] then Format.fprintf fmt "metrics@.";
   List.iter
     (fun (k, v) ->
@@ -121,4 +136,6 @@ let pp fmt () =
             (1e3 *. seconds) count)
     snap
 
+let pp fmt () = pp_values fmt (snapshot ())
 let reset () = with_lock (fun () -> Hashtbl.reset tbl)
+let reset_all = reset

@@ -28,12 +28,30 @@ val time : string -> (unit -> 'a) -> 'a
 val snapshot : unit -> (string * value) list
 (** All entries, sorted by name. *)
 
+val diff :
+  base:(string * value) list -> (string * value) list -> (string * value) list
+(** [diff ~base cur] is the per-invocation delta between two snapshots:
+    counters and timers subtract (entries unchanged since [base] are
+    dropped), gauges keep their current value.  Entries new since
+    [base] pass through verbatim.  The registry is process-global, so
+    CLI subcommands report [diff ~base:(snapshot at entry)] rather than
+    lifetime totals. *)
+
 val to_json : unit -> string
 (** [{"counters": {...}, "gauges": {...}, "timers": {name: {"seconds":
     s, "count": n}}}], keys sorted. *)
 
+val values_to_json : (string * value) list -> string
+(** Same JSON shape over an explicit snapshot (or {!diff} result). *)
+
 val pp : Format.formatter -> unit -> unit
 (** Aligned text dump of {!snapshot}. *)
 
+val pp_values : Format.formatter -> (string * value) list -> unit
+(** Aligned text dump of an explicit snapshot (or {!diff} result). *)
+
 val reset : unit -> unit
 (** Drop every entry (used by tests). *)
+
+val reset_all : unit -> unit
+(** Alias of {!reset}: clear the whole process-global registry. *)

@@ -1,0 +1,396 @@
+(* Cycle / traffic / area attribution by source-pattern provenance.
+
+   The analytic simulator assigns every controller subtree a
+   per-invocation result (cycles, DRAM-busy cycles, traffic).  This pass
+   distributes the design's total cycles down the controller tree so
+   that every node receives the share the composing rules gave it, then
+   aggregates shares by the provenance stamped on each node — answering
+   "which source pattern do these cycles (and this traffic, and this
+   area) belong to?".
+
+   Distribution rules mirror the simulator's composition exactly:
+   - Seq / Par / sequential Loop: children split the parent's total in
+     proportion to their standalone per-invocation cycles;
+   - metapipelined Loop: each stage is weighted by its first-iteration
+     cycles plus its share of the steady state — the slowest stage when
+     the loop is stage-bound, DRAM-busy-proportional shares when the
+     shared channel serializes the stages;
+   - leaves keep everything they receive.
+
+   A node's [self] is its total minus what its children received, so
+   summing [self] over the tree telescopes back to the root total and
+   attribution is complete by construction. *)
+
+type traffic = (string * float) list
+
+type node = {
+  name : string;
+  kind : string;
+  prov : Prov.t;
+  total : float;  (** cycles attributed to this subtree, all invocations *)
+  self : float;  (** total minus what the children received *)
+  invocations : float;
+  fill : float;  (** share of [total] spent filling pipelines *)
+  steady : float;  (** share in steady-state execution *)
+  dram : float;  (** share serialized behind the shared DRAM channel *)
+  reads : traffic;  (** words read from DRAM, all invocations *)
+  writes : traffic;
+  area : Area_model.t;  (** this controller instance, without children *)
+  children : node list;
+}
+
+type origin_row = {
+  origin : string;
+  o_cycles : float;  (** summed [self] cycles of controllers so stamped *)
+  o_share : float;  (** fraction of the design total *)
+  o_traffic : float;  (** DRAM words moved by those controllers *)
+  o_area : Area_model.t;  (** controllers plus memories so stamped *)
+  o_ctrls : int;
+}
+
+type t = {
+  design_name : string;
+  total_cycles : float;
+  dram_cycles : float;
+  fill_cycles : float;
+  steady_cycles : float;
+  dram_serial_cycles : float;
+  root : node;
+  origins : origin_row list;
+  unattributed_area : Area_model.t;  (** platform overhead *)
+}
+
+(* ------------------------- attribution ----------------------------- *)
+
+let sum f l = List.fold_left (fun acc x -> acc +. f x) 0.0 l
+
+let trips_product sizes trips =
+  Float.max 1.0
+    (List.fold_left (fun acc t -> acc *. Hw.trip_eval sizes t) 1.0 trips)
+
+(* local scheduling transients of one controller, given the factor [f]
+   scaling its per-invocation cycles up to its attributed total *)
+let local_split sizes f (c : Hw.ctrl) (r : Simulate.node_report)
+    (stage_rs : Simulate.node_report list) =
+  match c with
+  | Hw.Pipe { trips; par; depth; ii; _ } ->
+      let iters =
+        List.fold_left (fun acc t -> acc *. Hw.trip_eval sizes t) 1.0 trips
+      in
+      let compute =
+        float_of_int depth
+        +. (ceil (iters /. float_of_int (Int.max 1 par)) *. float_of_int ii)
+      in
+      let fill = f *. float_of_int depth in
+      let dram = f *. Float.max 0.0 (r.Simulate.nr_dram -. compute) in
+      (fill, dram)
+  | Hw.Tile_load _ | Hw.Tile_store _ -> (0.0, f *. r.Simulate.nr_cycles)
+  | Hw.Loop { trips; meta = true; _ } when List.length stage_rs > 1 ->
+      let iter = trips_product sizes trips in
+      let per_iter_sum = sum (fun s -> s.Simulate.nr_cycles) stage_rs in
+      let slowest =
+        List.fold_left
+          (fun acc s -> Float.max acc s.Simulate.nr_cycles)
+          0.0 stage_rs
+      in
+      let dram_sum = sum (fun s -> s.Simulate.nr_dram) stage_rs in
+      let steady_rate = Float.max slowest dram_sum in
+      let fill = f *. Float.max 0.0 (per_iter_sum -. steady_rate) in
+      let dram =
+        f *. (iter -. 1.0) *. Float.max 0.0 (dram_sum -. slowest)
+      in
+      (fill, dram)
+  | _ -> (0.0, 0.0)
+
+(* weights by which a controller's total is split among its children;
+   they sum to the parent's own per-invocation cycles by construction *)
+let child_weights sizes (c : Hw.ctrl) (rs : Simulate.node_report list) =
+  match c with
+  | Hw.Loop { trips; meta = true; _ } when List.length rs > 1 ->
+      let iter = trips_product sizes trips in
+      let slowest =
+        List.fold_left
+          (fun acc r -> Float.max acc r.Simulate.nr_cycles)
+          0.0 rs
+      in
+      let dram_sum = sum (fun r -> r.Simulate.nr_dram) rs in
+      let steady_rate = Float.max slowest dram_sum in
+      let stage_bound = slowest >= dram_sum in
+      (* first slowest stage wins ties, deterministically *)
+      let argmax =
+        let rec go i best besti = function
+          | [] -> besti
+          | r :: rest ->
+              if r.Simulate.nr_cycles > best then
+                go (i + 1) r.Simulate.nr_cycles i rest
+              else go (i + 1) best besti rest
+        in
+        go 0 Float.neg_infinity (-1) rs
+      in
+      List.mapi
+        (fun i r ->
+          let steady_share =
+            if stage_bound then if i = argmax then steady_rate else 0.0
+            else if dram_sum > 0.0 then
+              steady_rate *. r.Simulate.nr_dram /. dram_sum
+            else 0.0
+          in
+          r.Simulate.nr_cycles +. ((iter -. 1.0) *. steady_share))
+        rs
+  | _ -> List.map (fun r -> r.Simulate.nr_cycles) rs
+
+let child_invocations sizes (c : Hw.ctrl) invocations =
+  match c with
+  | Hw.Loop { trips; _ } -> invocations *. trips_product sizes trips
+  | _ -> invocations
+
+let scale_traffic k t = List.map (fun (a, w) -> (a, k *. w)) t
+
+let of_design ?(machine = Machine.default) ?cache (d : Hw.design) ~sizes =
+  let q = Simulate.measure ~machine ?cache d ~sizes in
+  let fill_acc = ref 0.0 and dram_acc = ref 0.0 in
+  let rec build c ~total ~invocations =
+    let r = q c in
+    let f =
+      if r.Simulate.nr_cycles > 0.0 then total /. r.Simulate.nr_cycles
+      else 0.0
+    in
+    let kids = Hw.children c in
+    let krs = List.map q kids in
+    let fill, dram = local_split sizes f c r krs in
+    fill_acc := !fill_acc +. fill;
+    dram_acc := !dram_acc +. dram;
+    let weights = child_weights sizes c krs in
+    let wsum = List.fold_left ( +. ) 0.0 weights in
+    let kinv = child_invocations sizes c invocations in
+    let children =
+      List.map2
+        (fun k w ->
+          let share = if wsum > 0.0 then total *. w /. wsum else 0.0 in
+          build k ~total:share ~invocations:kinv)
+        kids weights
+    in
+    let self = total -. sum (fun n -> n.total) children in
+    { name = Hw.ctrl_name c;
+      kind = Simulate.kind_of c;
+      prov = Hw.ctrl_prov c;
+      total;
+      self;
+      invocations;
+      fill;
+      steady = Float.max 0.0 (total -. fill -. dram);
+      dram;
+      reads = scale_traffic invocations r.Simulate.nr_reads;
+      writes = scale_traffic invocations r.Simulate.nr_writes;
+      area = Area_model.ctrl_cost c;
+      children }
+  in
+  let root_r = q d.Hw.top in
+  let root =
+    build d.Hw.top ~total:root_r.Simulate.nr_cycles ~invocations:1.0
+  in
+  (* by-origin aggregation *)
+  let tbl = Hashtbl.create 16 in
+  let rec visit n =
+    let origin =
+      match Prov.frames n.prov with o :: _ -> o | [] -> "<unattributed>"
+    in
+    let words =
+      (* leaves own the traffic; interior nodes would double-count it *)
+      if n.children = [] then
+        sum snd n.reads +. sum snd n.writes
+      else 0.0
+    in
+    let prev =
+      match Hashtbl.find_opt tbl origin with
+      | Some row -> row
+      | None ->
+          { origin; o_cycles = 0.0; o_share = 0.0; o_traffic = 0.0;
+            o_area = Area_model.zero; o_ctrls = 0 }
+    in
+    Hashtbl.replace tbl origin
+      { prev with
+        o_cycles = prev.o_cycles +. n.self;
+        o_traffic = prev.o_traffic +. words;
+        o_area = Area_model.add prev.o_area n.area;
+        o_ctrls = prev.o_ctrls + 1 };
+    List.iter visit n.children
+  in
+  visit root;
+  (* memories join the rows of the pattern they serve *)
+  List.iter
+    (fun m ->
+      let origin =
+        match Prov.frames m.Hw.mem_prov with
+        | o :: _ -> o
+        | [] -> "<unattributed>"
+      in
+      let prev =
+        match Hashtbl.find_opt tbl origin with
+        | Some row -> row
+        | None ->
+            { origin; o_cycles = 0.0; o_share = 0.0; o_traffic = 0.0;
+              o_area = Area_model.zero; o_ctrls = 0 }
+      in
+      Hashtbl.replace tbl origin
+        { prev with o_area = Area_model.add prev.o_area (Area_model.mem_cost m) })
+    d.Hw.mems;
+  let total = root.total in
+  let origins =
+    Hashtbl.fold (fun _ row acc -> row :: acc) tbl []
+    |> List.map (fun row ->
+           { row with
+             o_share = (if total > 0.0 then row.o_cycles /. total else 0.0) })
+    |> List.sort (fun a b ->
+           match compare b.o_cycles a.o_cycles with
+           | 0 -> String.compare a.origin b.origin
+           | n -> n)
+  in
+  let fill = Float.min !fill_acc total in
+  let dram = Float.min !dram_acc (total -. fill) in
+  { design_name = d.Hw.design_name;
+    total_cycles = total;
+    dram_cycles = root_r.Simulate.nr_dram;
+    fill_cycles = fill;
+    steady_cycles = Float.max 0.0 (total -. fill -. dram);
+    dram_serial_cycles = dram;
+    root;
+    origins;
+    unattributed_area = Area_model.platform_overhead }
+
+let total_cycles t = t.total_cycles
+
+let top_sinks t k =
+  let rec take n = function
+    | [] -> []
+    | _ when n = 0 -> []
+    | x :: rest -> x :: take (n - 1) rest
+  in
+  take k (List.filter (fun r -> r.o_cycles > 0.0) t.origins)
+
+let fold_nodes f acc t =
+  let rec go acc n = List.fold_left go (f acc n) n.children in
+  go acc t.root
+
+(* ------------------------- text backend ---------------------------- *)
+
+let pp_text fmt t =
+  Format.fprintf fmt "profile: %s  total %.0f cycles (dram-busy %.0f)@."
+    t.design_name t.total_cycles t.dram_cycles;
+  Format.fprintf fmt "  fill %.0f  steady %.0f  dram-serialized %.0f@."
+    t.fill_cycles t.steady_cycles t.dram_serial_cycles;
+  Format.fprintf fmt "@.%-28s %12s %7s %14s %10s %8s@." "source pattern"
+    "cycles" "share" "dram words" "area(alm)" "ctrls";
+  List.iter
+    (fun r ->
+      Format.fprintf fmt "%-28s %12.0f %6.1f%% %14.0f %10.0f %8d@." r.origin
+        r.o_cycles
+        (100.0 *. r.o_share)
+        r.o_traffic r.o_area.Area_model.logic r.o_ctrls)
+    t.origins;
+  Format.fprintf fmt "@.%-44s %12s %12s %10s  %s@." "controller" "total"
+    "self" "invocs" "provenance";
+  let rec tree depth n =
+    Format.fprintf fmt "%s%-*s %12.0f %12.0f %10.0f  %s@."
+      (String.make (2 * depth) ' ')
+      (Int.max 1 (44 - (2 * depth)))
+      n.name n.total n.self n.invocations (Prov.to_string n.prov);
+    List.iter (tree (depth + 1)) n.children
+  in
+  tree 0 t.root
+
+(* ------------------------- json backend ---------------------------- *)
+
+let json_escape s =
+  let b = Buffer.create (String.length s + 2) in
+  String.iter
+    (fun c ->
+      match c with
+      | '"' -> Buffer.add_string b "\\\""
+      | '\\' -> Buffer.add_string b "\\\\"
+      | c when Char.code c < 0x20 ->
+          Buffer.add_string b (Printf.sprintf "\\u%04x" (Char.code c))
+      | c -> Buffer.add_char b c)
+    s;
+  Buffer.contents b
+
+let json_float v =
+  if Float.is_integer v && Float.abs v < 1e15 then Printf.sprintf "%.0f" v
+  else Printf.sprintf "%.6f" v
+
+let json_area (a : Area_model.t) =
+  Printf.sprintf
+    "{\"logic\": %s, \"ff\": %s, \"bram\": %s, \"dsp\": %s}"
+    (json_float a.Area_model.logic) (json_float a.Area_model.ff)
+    (json_float a.Area_model.bram) (json_float a.Area_model.dsp)
+
+let json_traffic tr =
+  "{"
+  ^ String.concat ", "
+      (List.map
+         (fun (a, w) ->
+           Printf.sprintf "\"%s\": %s" (json_escape a) (json_float w))
+         tr)
+  ^ "}"
+
+let rec json_node n =
+  Printf.sprintf
+    "{\"name\": \"%s\", \"kind\": \"%s\", \"prov\": \"%s\", \"total\": %s, \
+     \"self\": %s, \"invocations\": %s, \"fill\": %s, \"steady\": %s, \
+     \"dram\": %s, \"reads\": %s, \"writes\": %s, \"area\": %s, \
+     \"children\": [%s]}"
+    (json_escape n.name) (json_escape n.kind)
+    (json_escape (Prov.to_string n.prov))
+    (json_float n.total) (json_float n.self) (json_float n.invocations)
+    (json_float n.fill) (json_float n.steady) (json_float n.dram)
+    (json_traffic n.reads) (json_traffic n.writes) (json_area n.area)
+    (String.concat ", " (List.map json_node n.children))
+
+let to_json t =
+  Printf.sprintf
+    "{\"design\": \"%s\", \"total_cycles\": %s, \"dram_cycles\": %s, \
+     \"fill_cycles\": %s, \"steady_cycles\": %s, \"dram_serial_cycles\": %s, \
+     \"origins\": [%s], \"tree\": %s}"
+    (json_escape t.design_name)
+    (json_float t.total_cycles) (json_float t.dram_cycles)
+    (json_float t.fill_cycles) (json_float t.steady_cycles)
+    (json_float t.dram_serial_cycles)
+    (String.concat ", "
+       (List.map
+          (fun r ->
+            Printf.sprintf
+              "{\"origin\": \"%s\", \"cycles\": %s, \"share\": %s, \
+               \"traffic_words\": %s, \"area\": %s, \"controllers\": %d}"
+              (json_escape r.origin) (json_float r.o_cycles)
+              (json_float r.o_share) (json_float r.o_traffic)
+              (json_area r.o_area) r.o_ctrls)
+          t.origins))
+    (json_node t.root)
+
+(* ---------------------- folded-stack backend ------------------------ *)
+
+(* One line per provenance trail: `frame;frame;... <integer weight>`,
+   weight = the trail's self cycles.  Identical trails merge; lines sort
+   lexicographically, so output is byte-deterministic for a design. *)
+let to_folded t =
+  let tbl = Hashtbl.create 64 in
+  ignore
+    (fold_nodes
+       (fun () n ->
+         let w = int_of_float (Float.round n.self) in
+         if w > 0 then begin
+           let key = Prov.folded n.prov in
+           let prev =
+             match Hashtbl.find_opt tbl key with Some v -> v | None -> 0
+           in
+           Hashtbl.replace tbl key (prev + w)
+         end)
+       () t);
+  let lines =
+    Hashtbl.fold
+      (fun k w acc -> Printf.sprintf "%s %d" k w :: acc)
+      tbl []
+  in
+  String.concat "\n"
+    (List.sort String.compare lines)
+  ^ if lines = [] then "" else "\n"

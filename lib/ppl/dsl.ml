@@ -54,7 +54,11 @@ let fresh_idxs doms = List.map (fun _ -> Sym.fresh "i") doms
 
 let map doms body =
   let idxs = fresh_idxs doms in
-  Map { mdims = doms; midxs = idxs; mbody = body (List.map (fun s -> Var s) idxs) }
+  Map
+    { mdims = doms;
+      midxs = idxs;
+      mbody = body (List.map (fun s -> Var s) idxs);
+      mprov = Prov.none }
 
 let map1 dom body =
   map [ dom ] (function [ x ] -> body x | _ -> assert false)
@@ -75,7 +79,8 @@ let fold doms ~init ~comb upd =
       finit = init;
       facc = acc;
       fupd = upd (List.map (fun s -> Var s) idxs) (Var acc);
-      fcomb = mk_comb comb }
+      fcomb = mk_comb comb;
+      fprov = Prov.none }
 
 let fold1 dom ~init ~comb upd =
   fold [ dom ] ~init ~comb (fun idxs acc ->
@@ -105,7 +110,8 @@ let multifold doms ~init ?comb outs =
       oinit = init;
       olets = [];
       oouts = mk_oouts specs;
-      ocomb = Option.map mk_comb comb }
+      ocomb = Option.map mk_comb comb;
+      oprov = Prov.none }
 
 let multifold_lets doms ~init ?comb body =
   let idxs = fresh_idxs doms in
@@ -118,11 +124,12 @@ let multifold_lets doms ~init ?comb body =
       oinit = init;
       olets;
       oouts = mk_oouts specs;
-      ocomb = Option.map mk_comb comb }
+      ocomb = Option.map mk_comb comb;
+      oprov = Prov.none }
 
 let flatmap dom body =
   let idx = Sym.fresh "i" in
-  FlatMap { fmdim = dom; fmidx = idx; fmbody = body (Var idx) }
+  FlatMap { fmdim = dom; fmidx = idx; fmbody = body (Var idx); fmprov = Prov.none }
 
 let filter dom pred elt =
   flatmap dom (fun idx ->
@@ -140,7 +147,8 @@ let groupbyfold dom ~init ~comb body =
       gkey = key;
       gacc = acc;
       gupd = updf (Var acc);
-      gcomb = mk_comb comb }
+      gcomb = mk_comb comb;
+      gprov = Prov.none }
 
 let size name = Sym.fresh name
 

@@ -42,7 +42,12 @@ and copy_dim =
   | Call
   | Cfix of exp
 
-and map_node = { mdims : dom list; midxs : Sym.t list; mbody : exp }
+and map_node = {
+  mdims : dom list;
+  midxs : Sym.t list;
+  mbody : exp;
+  mprov : Prov.t;
+}
 
 and fold_node = {
   fdims : dom list;
@@ -51,6 +56,7 @@ and fold_node = {
   facc : Sym.t;
   fupd : exp;
   fcomb : comb;
+  fprov : Prov.t;
 }
 
 and multifold_node = {
@@ -60,6 +66,7 @@ and multifold_node = {
   olets : (Sym.t * exp) list;
   oouts : mf_out list;
   ocomb : comb option;
+  oprov : Prov.t;
 }
 
 and mf_out = {
@@ -69,7 +76,12 @@ and mf_out = {
   oupd : exp;
 }
 
-and flatmap_node = { fmdim : dom; fmidx : Sym.t; fmbody : exp }
+and flatmap_node = {
+  fmdim : dom;
+  fmidx : Sym.t;
+  fmbody : exp;
+  fmprov : Prov.t;
+}
 
 and groupbyfold_node = {
   gdims : dom list;
@@ -80,6 +92,7 @@ and groupbyfold_node = {
   gacc : Sym.t;
   gupd : exp;
   gcomb : comb;
+  gprov : Prov.t;
 }
 
 and comb = { ca : Sym.t; cb : Sym.t; cbody : exp }
@@ -131,10 +144,10 @@ let rec fv_exp bound acc = function
           | Cfix e -> fv_exp bound acc e)
         (fv_exp bound acc csrc) cdims
   | Zeros (_, shape) -> List.fold_left (fv_exp bound) acc shape
-  | Map { mdims; midxs; mbody } ->
+  | Map { mdims; midxs; mbody; _ } ->
       let acc = List.fold_left (fv_dom bound) acc mdims in
       fv_exp (List.fold_left (fun b s -> Sym.Set.add s b) bound midxs) acc mbody
-  | Fold { fdims; fidxs; finit; facc; fupd; fcomb } ->
+  | Fold { fdims; fidxs; finit; facc; fupd; fcomb; _ } ->
       let acc = List.fold_left (fv_dom bound) acc fdims in
       let acc = fv_exp bound acc finit in
       let inner =
@@ -142,7 +155,7 @@ let rec fv_exp bound acc = function
       in
       let acc = fv_exp inner acc fupd in
       fv_comb bound acc fcomb
-  | MultiFold { odims; oidxs; oinit; olets; oouts; ocomb } ->
+  | MultiFold { odims; oidxs; oinit; olets; oouts; ocomb; _ } ->
       let acc = List.fold_left (fv_dom bound) acc odims in
       let acc = fv_exp bound acc oinit in
       let inner = List.fold_left (fun b s -> Sym.Set.add s b) bound oidxs in
@@ -165,10 +178,10 @@ let rec fv_exp bound acc = function
           acc oouts
       in
       (match ocomb with None -> acc | Some c -> fv_comb bound acc c)
-  | FlatMap { fmdim; fmidx; fmbody } ->
+  | FlatMap { fmdim; fmidx; fmbody; _ } ->
       let acc = fv_dom bound acc fmdim in
       fv_exp (Sym.Set.add fmidx bound) acc fmbody
-  | GroupByFold { gdims; gidxs; ginit; glets; gkey; gacc; gupd; gcomb } ->
+  | GroupByFold { gdims; gidxs; ginit; glets; gkey; gacc; gupd; gcomb; _ } ->
       let acc = List.fold_left (fv_dom bound) acc gdims in
       let acc = fv_exp bound acc ginit in
       let inner = List.fold_left (fun b s -> Sym.Set.add s b) bound gidxs in
@@ -236,10 +249,14 @@ let rec subst env e =
             creuse }
     | Zeros (sc, shape) -> Zeros (sc, List.map (subst env) shape)
     | ArrLit es -> ArrLit (List.map (subst env) es)
-    | Map { mdims; midxs; mbody } ->
+    | Map { mdims; midxs; mbody; mprov } ->
         let env' = List.fold_left (fun m s -> Sym.Map.remove s m) env midxs in
-        Map { mdims = List.map (subst_dom env) mdims; midxs; mbody = subst env' mbody }
-    | Fold { fdims; fidxs; finit; facc; fupd; fcomb } ->
+        Map
+          { mdims = List.map (subst_dom env) mdims;
+            midxs;
+            mbody = subst env' mbody;
+            mprov }
+    | Fold { fdims; fidxs; finit; facc; fupd; fcomb; fprov } ->
         let env' = List.fold_left (fun m s -> Sym.Map.remove s m) env fidxs in
         Fold
           { fdims = List.map (subst_dom env) fdims;
@@ -247,8 +264,9 @@ let rec subst env e =
             finit = subst env finit;
             facc;
             fupd = subst (Sym.Map.remove facc env') fupd;
-            fcomb = subst_comb env fcomb }
-    | MultiFold { odims; oidxs; oinit; olets; oouts; ocomb } ->
+            fcomb = subst_comb env fcomb;
+            fprov }
+    | MultiFold { odims; oidxs; oinit; olets; oouts; ocomb; oprov } ->
         let env' = List.fold_left (fun m s -> Sym.Map.remove s m) env oidxs in
         let env', olets =
           List.fold_left
@@ -274,13 +292,16 @@ let rec subst env e =
                     oacc;
                     oupd = subst (Sym.Map.remove oacc env') oupd })
                 oouts;
-            ocomb = Option.map (subst_comb env) ocomb }
-    | FlatMap { fmdim; fmidx; fmbody } ->
+            ocomb = Option.map (subst_comb env) ocomb;
+            oprov }
+    | FlatMap { fmdim; fmidx; fmbody; fmprov } ->
         FlatMap
           { fmdim = subst_dom env fmdim;
             fmidx;
-            fmbody = subst (Sym.Map.remove fmidx env) fmbody }
-    | GroupByFold { gdims; gidxs; ginit; glets; gkey; gacc; gupd; gcomb } ->
+            fmbody = subst (Sym.Map.remove fmidx env) fmbody;
+            fmprov }
+    | GroupByFold { gdims; gidxs; ginit; glets; gkey; gacc; gupd; gcomb; gprov }
+      ->
         let env' = List.fold_left (fun m s -> Sym.Map.remove s m) env gidxs in
         let env', glets =
           List.fold_left
@@ -298,7 +319,8 @@ let rec subst env e =
             gkey = subst env' gkey;
             gacc;
             gupd = subst (Sym.Map.remove gacc env') gupd;
-            gcomb = subst_comb env gcomb }
+            gcomb = subst_comb env gcomb;
+            gprov }
 
 and subst_dom env = function
   | Dfull e -> Dfull (subst env e)
@@ -349,13 +371,17 @@ let rec ren env e =
           creuse }
   | Zeros (sc, shape) -> Zeros (sc, List.map (ren env) shape)
   | ArrLit es -> ArrLit (List.map (ren env) es)
-  | Map { mdims; midxs; mbody } ->
+  | Map { mdims; midxs; mbody; mprov } ->
       let midxs' = List.map (fun s -> Sym.fresh (Sym.base s)) midxs in
       let env' =
         List.fold_left2 (fun m s s' -> Sym.Map.add s s' m) env midxs midxs'
       in
-      Map { mdims = List.map (ren_dom env) mdims; midxs = midxs'; mbody = ren env' mbody }
-  | Fold { fdims; fidxs; finit; facc; fupd; fcomb } ->
+      Map
+        { mdims = List.map (ren_dom env) mdims;
+          midxs = midxs';
+          mbody = ren env' mbody;
+          mprov }
+  | Fold { fdims; fidxs; finit; facc; fupd; fcomb; fprov } ->
       let fidxs' = List.map (fun s -> Sym.fresh (Sym.base s)) fidxs in
       let facc' = Sym.fresh (Sym.base facc) in
       let env' =
@@ -367,8 +393,9 @@ let rec ren env e =
           finit = ren env finit;
           facc = facc';
           fupd = ren (Sym.Map.add facc facc' env') fupd;
-          fcomb = ren_comb env fcomb }
-  | MultiFold { odims; oidxs; oinit; olets; oouts; ocomb } ->
+          fcomb = ren_comb env fcomb;
+          fprov }
+  | MultiFold { odims; oidxs; oinit; olets; oouts; ocomb; oprov } ->
       let oidxs' = List.map (fun s -> Sym.fresh (Sym.base s)) oidxs in
       let env' =
         List.fold_left2 (fun m s s' -> Sym.Map.add s s' m) env oidxs oidxs'
@@ -397,14 +424,17 @@ let rec ren env e =
                   oacc = oacc';
                   oupd = ren (Sym.Map.add oacc oacc' env') oupd })
               oouts;
-          ocomb = Option.map (ren_comb env) ocomb }
-  | FlatMap { fmdim; fmidx; fmbody } ->
+          ocomb = Option.map (ren_comb env) ocomb;
+          oprov }
+  | FlatMap { fmdim; fmidx; fmbody; fmprov } ->
       let fmidx' = Sym.fresh (Sym.base fmidx) in
       FlatMap
         { fmdim = ren_dom env fmdim;
           fmidx = fmidx';
-          fmbody = ren (Sym.Map.add fmidx fmidx' env) fmbody }
-  | GroupByFold { gdims; gidxs; ginit; glets; gkey; gacc; gupd; gcomb } ->
+          fmbody = ren (Sym.Map.add fmidx fmidx' env) fmbody;
+          fmprov }
+  | GroupByFold { gdims; gidxs; ginit; glets; gkey; gacc; gupd; gcomb; gprov }
+    ->
       let gidxs' = List.map (fun s -> Sym.fresh (Sym.base s)) gidxs in
       let gacc' = Sym.fresh (Sym.base gacc) in
       let env1 =
@@ -427,7 +457,8 @@ let rec ren env e =
           gkey = ren env1 gkey;
           gacc = gacc';
           gupd = ren (Sym.Map.add gacc gacc' env1) gupd;
-          gcomb = ren_comb env gcomb }
+          gcomb = ren_comb env gcomb;
+          gprov }
 
 and ren_dom env = function
   | Dfull e -> Dfull (ren env e)

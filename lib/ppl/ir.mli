@@ -68,7 +68,12 @@ and copy_dim =
   | Call  (** the whole dimension *)
   | Cfix of exp  (** a single index; the dimension disappears *)
 
-and map_node = { mdims : dom list; midxs : Sym.t list; mbody : exp }
+and map_node = {
+  mdims : dom list;
+  midxs : Sym.t list;
+  mbody : exp;
+  mprov : Prov.t;  (** metadata only; never semantics *)
+}
 
 and fold_node = {
   fdims : dom list;
@@ -77,6 +82,7 @@ and fold_node = {
   facc : Sym.t;  (** bound to the whole current accumulator in [fupd] *)
   fupd : exp;
   fcomb : comb;
+  fprov : Prov.t;
 }
 
 and multifold_node = {
@@ -90,6 +96,7 @@ and multifold_node = {
           scope of the indices and of the previous bindings *)
   oouts : mf_out list;  (** one per accumulator component *)
   ocomb : comb option;  (** [None] when each location is written once *)
+  oprov : Prov.t;
 }
 
 and mf_out = {
@@ -101,7 +108,12 @@ and mf_out = {
   oupd : exp;  (** new region contents *)
 }
 
-and flatmap_node = { fmdim : dom; fmidx : Sym.t; fmbody : exp }
+and flatmap_node = {
+  fmdim : dom;
+  fmidx : Sym.t;
+  fmbody : exp;
+  fmprov : Prov.t;
+}
 
 and groupbyfold_node = {
   gdims : dom list;
@@ -114,6 +126,7 @@ and groupbyfold_node = {
   gacc : Sym.t;
   gupd : exp;
   gcomb : comb;
+  gprov : Prov.t;
 }
 
 and comb = { ca : Sym.t; cb : Sym.t; cbody : exp }

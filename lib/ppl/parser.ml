@@ -696,7 +696,7 @@ and parse_map st =
       let idxs = List.map (bind st) names in
       let body = parse_exp st in
       expect st RBRACE;
-      Ir.Map { mdims = dims; midxs = idxs; mbody = body })
+      Ir.Map { mdims = dims; midxs = idxs; mbody = body; mprov = Prov.none })
 
 and parse_fold st =
   advance st;
@@ -717,7 +717,7 @@ and parse_fold st =
       let comb = parse_comb st in
       Ir.Fold
         { fdims = dims; fidxs = idxs; finit = init; facc; fupd = upd;
-          fcomb = comb })
+          fcomb = comb; fprov = Prov.none })
 
 (* Flattened tiled forms print domains that reference the pattern's own
    binders — `multiFold(n/4096, 4096@n[ii])...{ (ii, i) => ... }` — so the
@@ -805,7 +805,7 @@ and parse_multifold st =
         else Some (parse_comb st)
       in
       Ir.MultiFold { odims = dims; oidxs = idxs; oinit = init; olets; oouts;
-                     ocomb })
+                     ocomb; oprov = Prov.none })
 
 and parse_out st : Ir.mf_out =
   expect st LPAREN;
@@ -871,7 +871,7 @@ and parse_flatmap st =
       let idx = bind st name in
       let body = parse_exp st in
       expect st RBRACE;
-      Ir.FlatMap { fmdim = dim; fmidx = idx; fmbody = body })
+      Ir.FlatMap { fmdim = dim; fmidx = idx; fmbody = body; fmprov = Prov.none })
 
 and parse_groupbyfold st =
   advance st;
@@ -909,7 +909,7 @@ and parse_groupbyfold st =
       let comb = parse_comb st in
       Ir.GroupByFold
         { gdims = dims; gidxs = idxs; ginit = init; glets; gkey = key; gacc;
-          gupd = upd; gcomb = comb })
+          gupd = upd; gcomb = comb; gprov = Prov.none })
 
 (* ------------------------------------------------------------------ *)
 (* Programs                                                            *)

@@ -98,14 +98,14 @@ and pp_exp fmt = function
         (Format.pp_print_list ~pp_sep:pp_sep_comma pp_exp)
         es
   | EmptyArr _ -> Format.pp_print_string fmt "[]"
-  | Map { mdims; midxs; mbody } ->
+  | Map { mdims; midxs; mbody; _ } ->
       Format.fprintf fmt "@[<v 2>map%a{ %a =>@ %a }@]" pp_doms mdims pp_syms
         midxs pp_exp mbody
-  | Fold { fdims; fidxs; finit; facc; fupd; fcomb } ->
+  | Fold { fdims; fidxs; finit; facc; fupd; fcomb; _ } ->
       Format.fprintf fmt
         "@[<v 2>fold%a(%a){ %a =>@ @[<v 2>%a =>@ %a@] }%a@]" pp_doms fdims
         pp_exp finit pp_syms fidxs Sym.pp facc pp_exp fupd pp_comb fcomb
-  | MultiFold { odims; oidxs; oinit; olets; oouts; ocomb } ->
+  | MultiFold { odims; oidxs; oinit; olets; oouts; ocomb; _ } ->
       Format.fprintf fmt "@[<v 2>multiFold%a(%a){ %a =>@ %a%a }%a@]" pp_doms
         odims pp_exp oinit pp_syms oidxs
         (fun fmt lets ->
@@ -122,10 +122,10 @@ and pp_exp fmt = function
           | None -> Format.pp_print_string fmt "(_)"
           | Some c -> pp_comb fmt c)
         ocomb
-  | FlatMap { fmdim; fmidx; fmbody } ->
+  | FlatMap { fmdim; fmidx; fmbody; _ } ->
       Format.fprintf fmt "@[<v 2>flatMap(%a){ %a =>@ %a }@]" pp_dom fmdim
         Sym.pp fmidx pp_exp fmbody
-  | GroupByFold { gdims; gidxs; ginit; glets; gkey; gacc; gupd; gcomb } ->
+  | GroupByFold { gdims; gidxs; ginit; glets; gkey; gacc; gupd; gcomb; _ } ->
       Format.fprintf fmt
         "@[<v 2>groupByFold%a(%a){ %a =>@ %a(%a, @[<v 2>%a =>@ %a@]) }%a@]"
         pp_doms gdims pp_exp ginit pp_syms gidxs

@@ -1,0 +1,35 @@
+type t = { origin : string; trail : string list }
+
+let none = { origin = ""; trail = [] }
+let is_none p = p.origin = "" && p.trail = []
+let root origin = { origin; trail = [] }
+
+let push p frame =
+  if is_none p then { origin = frame; trail = [] }
+  else { p with trail = p.trail @ [ frame ] }
+
+let frames p = if is_none p then [] else p.origin :: p.trail
+
+let to_string p =
+  match frames p with [] -> "<none>" | fs -> String.concat " -> " fs
+
+let sanitize_frame s =
+  String.map
+    (fun c ->
+      match c with
+      | ';' | ' ' | '\t' | '\n' | '\r' -> '_'
+      | c when Char.code c < 0x20 -> '_'
+      | c -> c)
+    s
+
+let folded p =
+  match frames p with
+  | [] -> "<none>"
+  | fs -> String.concat ";" (List.map sanitize_frame fs)
+
+let compare a b =
+  match String.compare a.origin b.origin with
+  | 0 -> List.compare String.compare a.trail b.trail
+  | n -> n
+
+let equal a b = compare a b = 0

@@ -112,7 +112,7 @@ let rec infer env e =
       if not (is_elt_ty t) then
         err "empty array of non-scalar element type %s" (Ty.to_string t);
       Ty.Array (t, 1)
-  | Map { mdims; midxs; mbody } ->
+  | Map { mdims; midxs; mbody; _ } ->
       check_doms env mdims midxs;
       let env' = bind_idxs env midxs in
       let bt = infer env' mbody in
@@ -120,7 +120,7 @@ let rec infer env e =
         err "Map body must produce scalars, got %s (nested arrays are not allowed)"
           (Ty.to_string bt);
       Ty.Array (bt, List.length mdims)
-  | Fold { fdims; fidxs; finit; facc; fupd; fcomb } ->
+  | Fold { fdims; fidxs; finit; facc; fupd; fcomb; _ } ->
       check_doms env fdims fidxs;
       let acc_t = infer env finit in
       let env' = Sym.Map.add facc acc_t (bind_idxs env fidxs) in
@@ -128,13 +128,13 @@ let rec infer env e =
       check_comb env fcomb acc_t;
       acc_t
   | MultiFold mf -> infer_multifold env mf
-  | FlatMap { fmdim; fmidx; fmbody } ->
+  | FlatMap { fmdim; fmidx; fmbody; _ } ->
       check_doms env [ fmdim ] [ fmidx ];
       let bt = infer (Sym.Map.add fmidx Ty.int_ env) fmbody in
       (match bt with
       | Ty.Array (elt, 1) -> Ty.Array (elt, 1)
       | t -> err "FlatMap body must be a 1-D array, got %s" (Ty.to_string t))
-  | GroupByFold { gdims; gidxs; ginit; glets; gkey; gacc; gupd; gcomb } ->
+  | GroupByFold { gdims; gidxs; ginit; glets; gkey; gacc; gupd; gcomb; _ } ->
       check_doms env gdims gidxs;
       let v_t = infer env ginit in
       if not (is_elt_ty v_t) then
@@ -150,7 +150,7 @@ let rec infer env e =
       check_comb env gcomb v_t;
       Ty.Assoc (k_t, v_t)
 
-and infer_multifold env { odims; oidxs; oinit; olets; oouts; ocomb } =
+and infer_multifold env { odims; oidxs; oinit; olets; oouts; ocomb; _ } =
   check_doms env odims oidxs;
   let init_t = infer env oinit in
   let comp_tys =

@@ -252,6 +252,26 @@ let run ?(machine = Machine.default) ?cache:c (d : Hw.design) ~sizes =
     reads = Smap.bindings r.n_reads;
     writes = Smap.bindings r.n_writes }
 
+(* ------------------------- per-node measurement -------------------- *)
+
+type node_report = {
+  nr_cycles : float;
+  nr_dram : float;
+  nr_reads : traffic;
+  nr_writes : traffic;
+}
+
+let measure ?(machine = Machine.default) ?cache:c (d : Hw.design) ~sizes =
+  let cc = scratch_or machine sizes c in
+  (* fill the memo table once from the root so per-node queries are O(1) *)
+  ignore (sim cc machine sizes d.Hw.top);
+  fun ctrl ->
+    let r = sim cc machine sizes ctrl in
+    { nr_cycles = r.n_cycles;
+      nr_dram = r.n_dram;
+      nr_reads = Smap.bindings r.n_reads;
+      nr_writes = Smap.bindings r.n_writes }
+
 (* ------------------------- breakdown ------------------------------- *)
 
 type breakdown_row = {
@@ -336,7 +356,7 @@ let bottlenecks ?(machine = Machine.default) ?cache:c (d : Hw.design) ~sizes =
   Hw.iter_ctrls
     (fun c ->
       match c with
-      | Hw.Loop { name; trips; meta = true; stages } when List.length stages > 1
+      | Hw.Loop { name; trips; meta = true; stages; _ } when List.length stages > 1
         ->
           let rs =
             List.map (fun s -> (Hw.ctrl_name s, sim cc machine sizes s)) stages

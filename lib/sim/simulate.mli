@@ -79,6 +79,28 @@ val cached_footprint :
   Machine.t -> (Sym.t * int) list -> Hw.dram_access -> float
 (** Compulsory words for a cache-served access (dependent extents only). *)
 
+(** {1 Per-node measurement} *)
+
+type node_report = {
+  nr_cycles : float;  (** per-invocation cycles of the subtree *)
+  nr_dram : float;  (** per-invocation DRAM-busy cycles *)
+  nr_reads : traffic;  (** per-invocation words read, per DRAM array *)
+  nr_writes : traffic;
+}
+
+val measure :
+  ?machine:Machine.t ->
+  ?cache:cache ->
+  Hw.design ->
+  sizes:(Sym.t * int) list ->
+  Hw.ctrl ->
+  node_report
+(** [measure d ~sizes] simulates the design once (filling the memo
+    table) and returns an O(1) query for any controller subtree of [d]:
+    exactly the (cycles, DRAM-busy, traffic) the composing simulator
+    assigned that node per invocation.  Querying the root reproduces
+    {!run}.  The attribution profiler is the main client. *)
+
 (** {1 Breakdown} *)
 
 type breakdown_row = {
@@ -88,6 +110,9 @@ type breakdown_row = {
   br_cycles : float;  (** per-invocation cycles of this controller *)
   br_invocations : float;  (** times it runs, given enclosing trips *)
 }
+
+val kind_of : Hw.ctrl -> string
+(** Display kind of a controller ("metapipeline", "pipe/vector", ...). *)
 
 val breakdown :
   ?machine:Machine.t ->

@@ -21,12 +21,13 @@ let pipe ?(trips = [ Hw.Tconst 1000.0 ]) ?(par = 1) ?(depth = 10) ?(dram = [])
       body = None;
       dram;
       uses = [];
-      defines = [] }
+      defines = [];
+      prov = Prov.none }
 
 let load ?(words = 800.0) name =
   Hw.Tile_load
     { name; mem = "buf"; array = "x"; words = Hw.Tconst words; path = [];
-      reuse = 1 }
+      reuse = 1; prov = Prov.none }
 
 let design top = { Hw.design_name = "t"; mems = []; top; par_factor = 1 }
 
@@ -45,7 +46,7 @@ let test_metapipe_steady_state () =
     design
       (Hw.Loop
          { name = "l"; trips = [ Hw.Tconst 10.0 ]; meta = true;
-           stages = [ pipe "a"; pipe "b" ] })
+           stages = [ pipe "a"; pipe "b" ]; prov = Prov.none })
   in
   check_f "balanced metapipe" (2020.0 +. (9.0 *. 1010.0)) (ev d)
 
@@ -55,7 +56,7 @@ let test_metapipe_bottleneck () =
     design
       (Hw.Loop
          { name = "l"; trips = [ Hw.Tconst 10.0 ]; meta = true;
-           stages = [ pipe ~trips:[ Hw.Tconst 100.0 ] "fast"; pipe "slow" ] })
+           stages = [ pipe ~trips:[ Hw.Tconst 100.0 ] "fast"; pipe "slow" ]; prov = Prov.none })
   in
   (* fill = 110 + 1010; steady = 1010 *)
   check_f "bottleneck" (110.0 +. 1010.0 +. (9.0 *. 1010.0)) (ev d)
@@ -64,7 +65,7 @@ let test_dram_serialization () =
   (* two concurrent loads of 800 words at 8 w/c + 100 latency: the memory
      interface serializes them *)
   let d =
-    design (Hw.Par { name = "p"; children = [ load "l1"; load "l2" ] })
+    design (Hw.Par { name = "p"; children = [ load "l1"; load "l2" ]; prov = Prov.none })
   in
   check_f "serialized loads" 400.0 (ev d)
 
@@ -75,7 +76,7 @@ let test_dram_gap_filling () =
     design
       (Hw.Loop
          { name = "l"; trips = [ Hw.Tconst 20.0 ]; meta;
-           stages = [ load ~words:8000.0 "ld"; pipe "compute" ] })
+           stages = [ load ~words:8000.0 "ld"; pipe "compute" ]; prov = Prov.none })
   in
   let seq = ev (d false) and meta = ev (d true) in
   (* load = 100 + 1000 = 1100; pipe = 1010; seq = 20*(2110) *)
@@ -93,7 +94,7 @@ let test_double_buffer_dependency () =
          { name = "l"; trips = [ Hw.Tconst 5.0 ]; meta = true;
            stages =
              [ pipe ~trips:[ Hw.Tconst 5000.0 ] "slowA";
-               pipe ~trips:[ Hw.Tconst 10.0 ] "fastB" ] })
+               pipe ~trips:[ Hw.Tconst 10.0 ] "fastB" ]; prov = Prov.none })
   in
   (* A = 5010, B = 20; total = fill (5030) + 4 * 5010 *)
   check_f "producer limits consumer" (5030.0 +. (4.0 *. 5010.0)) (ev d)
@@ -103,7 +104,7 @@ let test_event_counts () =
     design
       (Hw.Loop
          { name = "l"; trips = [ Hw.Tconst 7.0 ]; meta = false;
-           stages = [ pipe "a"; pipe "b" ] })
+           stages = [ pipe "a"; pipe "b" ]; prov = Prov.none })
   in
   let r = Event_sim.run d ~sizes:[] in
   Alcotest.(check int) "7 iterations x 2 stages" 14 r.Event_sim.events;
@@ -114,7 +115,7 @@ let test_fallback_on_huge_loops () =
     design
       (Hw.Loop
          { name = "l"; trips = [ Hw.Tconst 1e9 ]; meta = false;
-           stages = [ pipe "a" ] })
+           stages = [ pipe "a" ]; prov = Prov.none })
   in
   let r = Event_sim.run d ~sizes:[] in
   Alcotest.(check int) "fell back" 1 r.Event_sim.fallbacks;

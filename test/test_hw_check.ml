@@ -13,11 +13,12 @@ let pipe ?(uses = []) ?(defines = []) name =
       body = None;
       dram = [];
       uses;
-      defines }
+      defines;
+      prov = Prov.none }
 
 let mem ?(kind = Hw.Buffer) name =
   { Hw.mem_name = name; kind; width_bits = 32; depth = 64; banks = 1;
-    readers = 1; writers = 1 }
+    readers = 1; writers = 1; mem_prov = Prov.none }
 
 let design ?(mems = []) top =
   { Hw.design_name = "t"; mems; top; par_factor = 4 }
@@ -76,7 +77,7 @@ let test_double_buffer_outside_meta () =
   let seq =
     Hw.Seq
       { name = "top";
-        children = [ pipe ~defines:[ "db" ] "w"; pipe ~uses:[ "db" ] "r" ] }
+        children = [ pipe ~defines:[ "db" ] "w"; pipe ~uses:[ "db" ] "r" ]; prov = Prov.none }
   in
   Alcotest.(check bool) "db outside metapipeline" true
     (has_problem (design ~mems:[ m ] seq) "outside metapipelines");
@@ -86,7 +87,7 @@ let test_double_buffer_outside_meta () =
       { name = "l";
         trips = [ Hw.Tconst 4.0 ];
         meta = true;
-        stages = [ pipe ~defines:[ "db" ] "w"; pipe ~uses:[ "db" ] "r" ] }
+        stages = [ pipe ~defines:[ "db" ] "w"; pipe ~uses:[ "db" ] "r" ]; prov = Prov.none }
   in
   Alcotest.(check bool) "db inside metapipeline ok" false
     (has_problem (design ~mems:[ m ] ml) "outside metapipelines")
@@ -111,7 +112,8 @@ let test_bad_fields () =
         body = None;
         dram = [];
         uses = [];
-        defines = [] }
+        defines = [];
+        prov = Prov.none }
   in
   let d = design bad_pipe in
   Alcotest.(check bool) "par" true (has_problem d "par < 1");
@@ -123,7 +125,7 @@ let test_duplicate_names () =
   let d =
     design
       ~mems:[ mem "m"; mem "m" ]
-      (Hw.Seq { name = "top"; children = [ pipe "p"; pipe "p" ] })
+      (Hw.Seq { name = "top"; children = [ pipe "p"; pipe "p" ]; prov = Prov.none })
   in
   Alcotest.(check bool) "dup memory" true (has_problem d "duplicate memory name");
   Alcotest.(check bool) "dup controller" true
@@ -141,7 +143,8 @@ let test_paths_and_codes () =
                  { name = "l";
                    trips = [ Hw.Tconst 4.0 ];
                    meta = false;
-                   stages = [ bad_pipe ] } ] })
+                   stages = [ bad_pipe ];
+                   prov = Prov.none } ]; prov = Prov.none })
   in
   let diag =
     List.find (fun f -> f.Diagnostic.code = "HW004") (Hw_check.check d)

@@ -18,11 +18,12 @@ let pipe ?(par = 4) ?(trips = [ Hw.Tconst 16.0 ]) ?(template = Hw.Vector)
       body = None;
       dram;
       uses;
-      defines }
+      defines;
+      prov = Prov.none }
 
 let mem ?(kind = Hw.Buffer) ?(depth = 64) ?(banks = 4) name =
   { Hw.mem_name = name; kind; width_bits = 32; depth; banks;
-    readers = 0; writers = 0 }
+    readers = 0; writers = 0; mem_prov = Prov.none }
 
 (* the port recount Metapipe.finalize performs, without its promotion —
    adversarial designs stay adversarial but carry honest port counts *)
@@ -66,7 +67,7 @@ let check_not d c =
     (c ^ " silent") false (has_code d c)
 
 let meta_loop ?(meta = true) name stages =
-  Hw.Loop { name; trips = [ Hw.Tconst 8.0 ]; meta; stages }
+  Hw.Loop { name; trips = [ Hw.Tconst 8.0 ]; meta; stages; prov = Prov.none }
 
 (* ------------------- 1. metapipeline races ------------------- *)
 
@@ -261,11 +262,11 @@ let test_capacity_overflow () =
   let load words =
     Hw.Tile_load
       { name = "load"; mem = "buf"; array = "x"; words = Hw.Tconst words;
-        path = []; reuse = 1 }
+        path = []; reuse = 1; prov = Prov.none }
   in
   let top words =
     Hw.Seq
-      { name = "top"; children = [ load words; pipe ~uses:[ "buf" ] ~defines:[ "out" ] "p" ] }
+      { name = "top"; children = [ load words; pipe ~uses:[ "buf" ] ~defines:[ "out" ] "p" ]; prov = Prov.none }
   in
   let mems () = [ mem ~depth:1024 ~banks:4 "buf"; mem ~banks:4 "out" ] in
   let d = design ~mems:(mems ()) (top 4096.0) in
@@ -277,11 +278,11 @@ let test_capacity_store () =
   let store =
     Hw.Tile_store
       { name = "store"; mem = Some "buf"; array = "out";
-        words = Hw.Tconst 4096.0; path = [] }
+        words = Hw.Tconst 4096.0; path = []; prov = Prov.none }
   in
   let top =
     Hw.Seq
-      { name = "top"; children = [ pipe ~defines:[ "buf" ] "p"; store ] }
+      { name = "top"; children = [ pipe ~defines:[ "buf" ] "p"; store ]; prov = Prov.none }
   in
   let d = design ~mems:[ mem ~depth:64 ~banks:4 "buf" ] top in
   check_has d "HW130"
@@ -294,7 +295,7 @@ let test_dead_controller () =
       { name = "top";
         children =
           [ pipe ~defines:[ "m" ] "w";
-            Hw.Seq { name = "dead"; children = [ pipe ~uses:[ "m" ] "r" ] } ] }
+            Hw.Seq { name = "dead"; children = [ pipe ~uses:[ "m" ] "r" ]; prov = Prov.none } ]; prov = Prov.none }
   in
   let d = design ~mems:[ mem "m" ] top in
   check_has d "HW140";
@@ -308,7 +309,7 @@ let test_adjacent_dram_stages () =
   let load n m =
     Hw.Tile_load
       { name = n; mem = m; array = "x"; words = Hw.Tconst 64.0; path = [];
-        reuse = 1 }
+        reuse = 1; prov = Prov.none }
   in
   let top =
     meta_loop "l"

@@ -158,7 +158,8 @@ let test_code_motion_hoists () =
     Ir.Map
       { mdims = [ Ir.Dfull (Ir.Var n) ];
         midxs = [ idx ];
-        mbody = Ir.Let (inv, copy_e, Ir.Read (Ir.Var inv, [ Ir.Var idx ])) }
+        mbody = Ir.Let (inv, copy_e, Ir.Read (Ir.Var inv, [ Ir.Var idx ]));
+        mprov = Prov.none }
   in
   match Code_motion.exp e with
   | Ir.Let (s, Ir.Copy _, Ir.Map _) when Sym.equal s inv -> ()
@@ -174,7 +175,8 @@ let test_code_motion_blocked () =
       { mdims = [ Ir.Dfull (Ir.Var n) ];
         midxs = [ idx ];
         mbody =
-          Ir.Let (dep, Ir.Prim (Ir.Mul, [ Ir.Var idx; Ir.Ci 2 ]), Ir.Var dep) }
+          Ir.Let (dep, Ir.Prim (Ir.Mul, [ Ir.Var idx; Ir.Ci 2 ]), Ir.Var dep);
+        mprov = Prov.none }
   in
   match Code_motion.exp e with
   | Ir.Map _ -> ()

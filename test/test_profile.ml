@@ -10,15 +10,15 @@ let test_untiled_counts () =
   let n = 16 and k = 4 and d = 3 in
   let sizes = [ (t.Kmeans.n, n); (t.Kmeans.k, k); (t.Kmeans.d, d) ] in
   let inputs = Kmeans.gen_inputs t ~seed:2 ~n ~k ~d in
-  let _, counts = Profile.run t.Kmeans.prog ~sizes ~inputs in
+  let _, counts = Mem_profile.run t.Kmeans.prog ~sizes ~inputs in
   (* [square (a - b)] duplicates its operand syntactically, so the IR
      issues two reads per distance term (hardware shares the wire) *)
   Alcotest.(check int) "centroids IR reads" (2 * n * k * d)
-    (Profile.words counts t.Kmeans.centroids.Ir.iname);
+    (Mem_profile.words counts t.Kmeans.centroids.Ir.iname);
   (* per point: 2*k*d reads in the distance folds + d in the scatter *)
   Alcotest.(check int) "points IR reads"
     ((2 * n * k * d) + (n * d))
-    (Profile.words counts t.Kmeans.points.Ir.iname)
+    (Mem_profile.words counts t.Kmeans.points.Ir.iname)
 
 let test_tiled_counts_match_fig5c () =
   (* tiled kmeans moves exactly the Fig. 5c words: copies replace element
@@ -29,11 +29,11 @@ let test_tiled_counts_match_fig5c () =
   let r = Tiling.run ~tiles:[ (t.Kmeans.n, b0); (t.Kmeans.k, b1) ] t.Kmeans.prog in
   let sizes = [ (t.Kmeans.n, n); (t.Kmeans.k, k); (t.Kmeans.d, d) ] in
   let inputs = Kmeans.gen_inputs t ~seed:3 ~n ~k ~d in
-  let _, counts = Profile.run r.Tiling.tiled ~sizes ~inputs in
+  let _, counts = Mem_profile.run r.Tiling.tiled ~sizes ~inputs in
   Alcotest.(check int) "points tile words" (n * d)
-    (Profile.words counts t.Kmeans.points.Ir.iname);
+    (Mem_profile.words counts t.Kmeans.points.Ir.iname);
   Alcotest.(check int) "centroids tile words" (n / b0 * k * d)
-    (Profile.words counts t.Kmeans.centroids.Ir.iname)
+    (Mem_profile.words counts t.Kmeans.centroids.Ir.iname)
 
 let test_matches_simulator () =
   (* interpreter-counted words = simulator-counted words on the tiled
@@ -44,15 +44,15 @@ let test_matches_simulator () =
     let r = Tiling.run ~tiles:[ (t.Kmeans.n, 16); (t.Kmeans.k, 4) ] t.Kmeans.prog in
     let sizes = [ (t.Kmeans.n, n); (t.Kmeans.k, k); (t.Kmeans.d, d) ] in
     let inputs = Kmeans.gen_inputs t ~seed:4 ~n ~k ~d in
-    let _, counts = Profile.run r.Tiling.tiled ~sizes ~inputs in
+    let _, counts = Mem_profile.run r.Tiling.tiled ~sizes ~inputs in
     let design = Lower.program Lower.default_opts r.Tiling.tiled in
     let rep = Simulate.run design ~sizes in
     Alcotest.(check int) "kmeans points: interp = sim"
       (int_of_float (Simulate.read_words rep "points"))
-      (Profile.words counts t.Kmeans.points.Ir.iname);
+      (Mem_profile.words counts t.Kmeans.points.Ir.iname);
     Alcotest.(check int) "kmeans centroids: interp = sim"
       (int_of_float (Simulate.read_words rep "centroids"))
-      (Profile.words counts t.Kmeans.centroids.Ir.iname)
+      (Mem_profile.words counts t.Kmeans.centroids.Ir.iname)
   in
   let check_gemm () =
     let t = Gemm.make () in
@@ -62,15 +62,15 @@ let test_matches_simulator () =
     in
     let sizes = [ (t.Gemm.m, m); (t.Gemm.n, n); (t.Gemm.p, p) ] in
     let inputs = Gemm.gen_inputs t ~seed:4 ~m ~n ~p in
-    let _, counts = Profile.run r.Tiling.tiled ~sizes ~inputs in
+    let _, counts = Mem_profile.run r.Tiling.tiled ~sizes ~inputs in
     let design = Lower.program Lower.default_opts r.Tiling.tiled in
     let rep = Simulate.run design ~sizes in
     Alcotest.(check int) "gemm x: interp = sim"
       (int_of_float (Simulate.read_words rep "x"))
-      (Profile.words counts t.Gemm.x.Ir.iname);
+      (Mem_profile.words counts t.Gemm.x.Ir.iname);
     Alcotest.(check int) "gemm y: interp = sim"
       (int_of_float (Simulate.read_words rep "y"))
-      (Profile.words counts t.Gemm.y.Ir.iname)
+      (Mem_profile.words counts t.Gemm.y.Ir.iname)
   in
   check_kmeans ();
   check_gemm ()
@@ -95,12 +95,12 @@ let test_reuse_discount () =
   let rng = Workloads.Rng.make 5 in
   let xs = Workloads.float_vector rng (dv + 2) in
   let _, counts =
-    Profile.run tiled ~sizes:[ (d, dv) ]
+    Mem_profile.run tiled ~sizes:[ (d, dv) ]
       ~inputs:[ (x.Ir.iname, Workloads.value_of_vector xs) ]
   in
   (* 4 tiles of 18 words, halved by reuse=2 -> 36 *)
   Alcotest.(check int) "window words discounted" (4 * 18 / 2)
-    (Profile.words counts x.Ir.iname)
+    (Mem_profile.words counts x.Ir.iname)
 
 let test_hook_restored () =
   (* the hook uninstalls even on exceptions *)

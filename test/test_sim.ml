@@ -19,7 +19,8 @@ let pipe ?(trips = [ Hw.Tconst 1000.0 ]) ?(par = 1) ?(depth = 10) ?(dram = [])
       body = None;
       dram;
       uses = [];
-      defines = [] }
+      defines = [];
+      prov = Prov.none }
 
 let design ?(mems = []) top =
   { Hw.design_name = "t"; mems; top; par_factor = 1 }
@@ -35,7 +36,7 @@ let test_pipe_cycles () =
     (cycles (design (pipe ~par:8 "p")))
 
 let test_seq_sums () =
-  let d = design (Hw.Seq { name = "s"; children = [ pipe "a"; pipe "b" ] }) in
+  let d = design (Hw.Seq { name = "s"; children = [ pipe "a"; pipe "b" ]; prov = Prov.none }) in
   check_f "seq" 2020.0 (cycles d)
 
 let test_par_max () =
@@ -43,7 +44,7 @@ let test_par_max () =
     design
       (Hw.Par
          { name = "p";
-           children = [ pipe "a"; pipe ~trips:[ Hw.Tconst 5000.0 ] "b" ] })
+           children = [ pipe "a"; pipe ~trips:[ Hw.Tconst 5000.0 ] "b" ]; prov = Prov.none })
   in
   check_f "par" 5010.0 (cycles d)
 
@@ -52,7 +53,7 @@ let test_loop_multiplies () =
     design
       (Hw.Loop
          { name = "l"; trips = [ Hw.Tconst 10.0 ]; meta = false;
-           stages = [ pipe "a"; pipe "b" ] })
+           stages = [ pipe "a"; pipe "b" ]; prov = Prov.none })
   in
   check_f "sequential loop" 20200.0 (cycles d)
 
@@ -62,7 +63,7 @@ let test_metapipe_overlap () =
     design
       (Hw.Loop
          { name = "l"; trips = [ Hw.Tconst 10.0 ]; meta;
-           stages = [ pipe "a"; pipe "b" ] })
+           stages = [ pipe "a"; pipe "b" ]; prov = Prov.none })
   in
   let seq = cycles (d false) and meta = cycles (d true) in
   check_f "metapipe" (2020.0 +. (9.0 *. 1010.0)) meta;
@@ -90,7 +91,7 @@ let test_tile_load_cost () =
     design
       (Hw.Tile_load
          { name = "tl"; mem = "b"; array = "x"; words = Hw.Tconst 800.0;
-           path = []; reuse = 1 })
+           path = []; reuse = 1; prov = Prov.none })
   in
   check_f "tile load"
     (m.Machine.tile_latency +. (800.0 /. m.Machine.stream_words_per_cycle))
@@ -101,7 +102,7 @@ let test_reuse_reduces_traffic () =
     design
       (Hw.Tile_load
          { name = "tl"; mem = "b"; array = "x"; words = Hw.Tconst 800.0;
-           path = []; reuse })
+           path = []; reuse; prov = Prov.none })
   in
   let r1 = Simulate.run (load 1) ~sizes:[] in
   let r2 = Simulate.run (load 2) ~sizes:[] in
@@ -404,7 +405,7 @@ let test_area_monotone_in_par () =
 let test_double_buffer_costs_more () =
   let mem kind =
     { Hw.mem_name = "m"; kind; width_bits = 32; depth = 4096; banks = 1;
-      readers = 1; writers = 1 }
+      readers = 1; writers = 1; mem_prov = Prov.none }
   in
   (* marginal cost of the memory alone: subtract the empty design *)
   let base = (Area_model.of_design (design (pipe "p"))).Area_model.bram in

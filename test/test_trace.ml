@@ -335,6 +335,37 @@ let test_stripped_determinism () =
   Alcotest.(check (list string)) "stripped form stable across domain counts"
     (strip_wall a) (strip_wall c)
 
+let test_warm_cache_timeline () =
+  (* the event engine's recorded timeline (and hence `timeline`'s JSON)
+     must not depend on whether a Simulate memo cache is cold or warm:
+     memoized re-runs return exactly the unmemoized results, and the
+     virtual-clock capture is bit-identical either way *)
+  let bench = gemm () in
+  let d = Experiments.design_of Experiments.Tiled_meta bench in
+  let sizes = bench.Suite.sim_sizes in
+  let capture () =
+    Trace.clear ();
+    Trace.enable ();
+    let r = Event_sim.run ~record:true d ~sizes in
+    Option.iter Sim_trace.record r.Event_sim.timeline;
+    Trace.disable ();
+    (Trace.to_json (), r.Event_sim.report.Simulate.cycles)
+  in
+  let cold_json, cold_cycles = capture () in
+  (* warm a shared cache with two analytic passes over the same design *)
+  let cache = Simulate.cache () in
+  let r1 = Simulate.run ~cache d ~sizes in
+  let r2 = Simulate.run ~cache d ~sizes in
+  Alcotest.(check bool) "memoized re-run returns identical report" true
+    (r1 = r2);
+  Alcotest.(check bool) "second run hit the memo table" true
+    ((Simulate.cache_stats cache).Simulate.hits > 0);
+  let warm_json, warm_cycles = capture () in
+  Alcotest.(check bool) "cycle total identical warm vs cold" true
+    (cold_cycles = warm_cycles);
+  Alcotest.(check bool) "timeline byte-identical warm vs cold" true
+    (String.equal cold_json warm_json)
+
 let test_metrics_json () =
   Metrics.reset ();
   Metrics.incr ~by:3 "t.counter";
@@ -348,6 +379,35 @@ let test_metrics_json () =
     (num (field "t.gauge" (field "gauges" j)));
   Alcotest.(check (float 0.0)) "timer count" 1.0
     (num (field "count" (field "t.timer" (field "timers" j))))
+
+let test_metrics_diff () =
+  (* the registry is process-global; the CLI reports per-invocation
+     deltas against a snapshot taken at command entry *)
+  Metrics.reset_all ();
+  Metrics.incr ~by:2 "d.count";
+  Metrics.incr ~by:7 "d.idle";
+  Metrics.set_gauge "d.gauge" 1.0;
+  let base = Metrics.snapshot () in
+  Metrics.incr ~by:5 "d.count";
+  Metrics.incr "d.fresh";
+  Metrics.set_gauge "d.gauge" 3.5;
+  ignore (Metrics.time "d.timer" (fun () -> ()));
+  let delta = Metrics.diff ~base (Metrics.snapshot ()) in
+  let get k = List.assoc_opt k delta in
+  (match get "d.count" with
+  | Some (Metrics.Counter 5) -> ()
+  | _ -> Alcotest.fail "counter delta should be 5");
+  (match get "d.fresh" with
+  | Some (Metrics.Counter 1) -> ()
+  | _ -> Alcotest.fail "fresh counter should pass through");
+  (match get "d.gauge" with
+  | Some (Metrics.Gauge 3.5) -> ()
+  | _ -> Alcotest.fail "gauge should keep its current value");
+  (match get "d.timer" with
+  | Some (Metrics.Timer { count = 1; _ }) -> ()
+  | _ -> Alcotest.fail "timer delta should count 1 call");
+  Alcotest.(check bool) "untouched entries are dropped" true
+    (get "d.idle" = None)
 
 let test_pass_instrumentation () =
   (* compiling a benchmark populates the pass timers even with tracing
@@ -381,8 +441,12 @@ let () =
       ( "determinism",
         [ Alcotest.test_case "timeline byte-identical" `Quick
             test_timeline_byte_identical;
+          Alcotest.test_case "timeline unaffected by warm sim cache" `Quick
+            test_warm_cache_timeline;
           Alcotest.test_case "stripped trace stable" `Quick
             test_stripped_determinism ] );
       ( "metrics",
         [ Alcotest.test_case "pass timers recorded" `Quick
-            test_pass_instrumentation ] ) ]
+            test_pass_instrumentation;
+          Alcotest.test_case "per-invocation deltas" `Quick
+            test_metrics_diff ] ) ]

@@ -79,7 +79,8 @@ let test_fold () =
            (let a = Sym.fresh "a" and b = Sym.fresh "b" in
             (* a comparison: Bool, not the Float accumulator type *)
             { Ir.ca = a; cb = b;
-              cbody = Ir.Prim (Ir.Lt, [ Ir.Var a; Ir.Var b ]) }) })
+              cbody = Ir.Prim (Ir.Lt, [ Ir.Var a; Ir.Var b ]) });
+         fprov = Prov.none })
 
 let test_multifold () =
   (* region rank must match range rank *)
@@ -99,7 +100,8 @@ let test_multifold () =
          oouts =
            [ { orange = [ i 4 ]; oregion = [ (i 0, i 1, Some 1) ];
                oacc = Sym.fresh "acc"; oupd = f 0.0 } ];
-         ocomb = None });
+         ocomb = None;
+         oprov = Prov.none });
   (* no outputs at all *)
   rejects ~msg:"no outputs"
     (Ir.MultiFold
@@ -108,11 +110,14 @@ let test_multifold () =
          oinit = f 0.0;
          olets = [];
          oouts = [];
-         ocomb = None })
+         ocomb = None;
+         oprov = Prov.none })
 
 let test_flatmap () =
   rejects ~msg:"scalar body"
-    (Ir.FlatMap { fmdim = Ir.Dfull (i 3); fmidx = Sym.fresh "i"; fmbody = f 1.0 })
+    (Ir.FlatMap
+       { fmdim = Ir.Dfull (i 3); fmidx = Sym.fresh "i"; fmbody = f 1.0;
+         fmprov = Prov.none })
 
 let test_groupbyfold () =
   (* non-scalar bucket *)
@@ -127,7 +132,8 @@ let test_groupbyfold () =
          gupd = zeros Ty.Float [ i 2 ];
          gcomb =
            (let a = Sym.fresh "a" and b = Sym.fresh "b" in
-            { Ir.ca = a; cb = b; cbody = Ir.Var a }) })
+            { Ir.ca = a; cb = b; cbody = Ir.Var a });
+         gprov = Prov.none })
 
 let test_domains () =
   (* Dtail with unbound outer *)
@@ -135,13 +141,15 @@ let test_domains () =
     (Ir.Map
        { mdims = [ Ir.Dtail { total = i 8; tile = 4; outer = Sym.fresh "ghost" } ];
          midxs = [ Sym.fresh "i" ];
-         mbody = f 1.0 });
+         mbody = f 1.0;
+         mprov = Prov.none });
   (* index/domain count mismatch *)
   rejects ~msg:"idx count"
     (Ir.Map
        { mdims = [ Ir.Dfull (i 3); Ir.Dfull (i 4) ];
          midxs = [ Sym.fresh "i" ];
-         mbody = f 1.0 });
+         mbody = f 1.0;
+         mprov = Prov.none });
   (* float domain size *)
   rejects ~msg:"float domain" (map1 (dfull (f 3.0)) (fun _ -> f 1.0))
 
